@@ -1,0 +1,83 @@
+// Command mbabench regenerates the reconstructed tables and figures of the
+// paper's evaluation (DESIGN.md §7).
+//
+// Usage:
+//
+//	mbabench -exp all                 # run the whole suite
+//	mbabench -exp R-Fig4 -seed 7      # one experiment, custom seed
+//	mbabench -list                    # list experiment ids
+//	mbabench -exp all -quick          # shrunken workloads (smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id to run, or \"all\"")
+		seed   = flag.Uint64("seed", 42, "workload and algorithm seed")
+		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		reps   = flag.Int("reps", 0, "repetitions per data point (0 = experiment default)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		outdir = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Reps: *reps}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mbabench:", err)
+			os.Exit(1)
+		}
+	}
+	runOne := func(e experiments.Experiment) error {
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outdir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outdir, e.ID+".txt"))
+			if err != nil {
+				return err
+			}
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		err := experiments.RunOne(w, e, cfg)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	var err error
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			if err = runOne(e); err != nil {
+				err = fmt.Errorf("%s: %w", e.ID, err)
+				break
+			}
+		}
+	} else {
+		var e experiments.Experiment
+		if e, err = experiments.ByID(*exp); err == nil {
+			err = runOne(e)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbabench:", err)
+		os.Exit(1)
+	}
+}

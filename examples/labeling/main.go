@@ -1,0 +1,41 @@
+// Labeling: an image-annotation campaign on a microtask market.  Each task
+// needs several redundant answers; this example shows how the assignment
+// algorithm feeds through answer aggregation into the accuracy the
+// requester actually observes — the full question → assignment →
+// aggregation loop from the paper's abstract.
+//
+//	go run ./examples/labeling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mba "repro"
+)
+
+func main() {
+	// A microtask market: 400 casual workers, 200 labelling tasks needing
+	// 3–7 redundant answers each.
+	in := mba.MicrotaskTrace(400, 200, 7)
+	fmt.Printf("campaign: %d workers, %d tasks, %d answer slots requested\n\n",
+		in.NumWorkers(), in.NumTasks(), in.TotalSlots())
+
+	fmt.Println("algorithm          majority-vote  weighted-vote  EM      answered")
+	for _, alg := range []string{"submodular-greedy", "greedy", "quality-only", "worker-only", "random"} {
+		res, err := mba.Assign(in, mba.DefaultParams(), alg, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e2e, err := mba.EndToEnd(in, mba.DefaultParams(), res, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %13.3f  %13.3f  %.3f  %8d\n",
+			alg, e2e.MajorityAccuracy, e2e.WeightedAccuracy, e2e.EMAccuracy, e2e.AnsweredTasks)
+	}
+	fmt.Println("\nquality-aware assignment buys label accuracy; worker-only ignores accuracy")
+	fmt.Println("entirely and pays for it.  At lambda=0.5 every mutual-benefit algorithm is")
+	fmt.Println("deliberately trading a little accuracy for worker utility — rerun the")
+	fmt.Println("comparison with a higher lambda to watch the trade-off move.")
+}

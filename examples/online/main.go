@@ -1,0 +1,42 @@
+// Online: workers arrive one at a time and must be assigned irrevocably —
+// the live-platform regime (MBA-ON).  This example compares the online
+// policies against the offline optimum across many random arrival orders.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mba "repro"
+)
+
+func main() {
+	in := mba.FreelanceTrace(250, 150, 3)
+	opt, err := mba.Assign(in, mba.DefaultParams(), "exact", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline optimum: %.2f total mutual benefit\n\n", opt.Metrics.TotalMutual)
+
+	fmt.Println("policy            mean-ratio  worst-ratio   (20 random arrival orders)")
+	for _, alg := range []string{"online-greedy", "online-ranking", "online-twophase"} {
+		var sum, worst float64
+		worst = 1
+		for seed := uint64(1); seed <= 20; seed++ {
+			res, err := mba.Assign(in, mba.DefaultParams(), alg, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio := res.Metrics.TotalMutual / opt.Metrics.TotalMutual
+			sum += ratio
+			if ratio < worst {
+				worst = ratio
+			}
+		}
+		fmt.Printf("%-16s  %10.3f  %11.3f\n", alg, sum/20, worst)
+	}
+	fmt.Println("\nall policies clear the 0.5 worst-case bound comfortably under random order;")
+	fmt.Println("two-phase reserves contested task slots for high-benefit pairs.")
+}

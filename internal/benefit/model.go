@@ -1,0 +1,163 @@
+// Package benefit implements the paper's central modelling contribution:
+// per-pair benefit functions for both sides of the bipartite labor market
+// and the combiners that merge them into a single *mutual* benefit.
+//
+// Prior task-assignment work optimises the requester side alone (expected
+// answer quality); the paper's abstract argues a good assignment must also
+// "boost the workers' willingness to participate".  This package therefore
+// exposes three per-pair quantities —
+//
+//	Quality(w, t)       requester-side benefit in [0, 1]
+//	WorkerUtility(w, t) worker-side benefit in [0, 1]
+//	Mutual(w, t)        combined benefit in [0, 1]
+//
+// — and three combiners for the last (weighted sum, Nash product,
+// egalitarian min), selected through Params.
+package benefit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/market"
+)
+
+// Combiner selects how the two sides' benefits merge into one value.
+type Combiner int
+
+const (
+	// WeightedSum is λ·q + (1−λ)·b — the paper family's default, linear in
+	// the trade-off knob λ.
+	WeightedSum Combiner = iota
+	// NashProduct is sqrt(q·b) — the geometric mean, echoing the Nash
+	// bargaining solution: a pair that is worthless to either side is
+	// worthless overall.
+	NashProduct
+	// Egalitarian is min(q, b) — the Rawlsian combiner; maximising it favors
+	// pairs that are decent for *both* sides.
+	Egalitarian
+)
+
+// String names the combiner for reports.
+func (c Combiner) String() string {
+	switch c {
+	case WeightedSum:
+		return "weighted-sum"
+	case NashProduct:
+		return "nash-product"
+	case Egalitarian:
+		return "egalitarian"
+	default:
+		return fmt.Sprintf("combiner(%d)", int(c))
+	}
+}
+
+// Params are the benefit-model knobs.
+type Params struct {
+	// Lambda in [0,1] weights the requester side in WeightedSum; 1 recovers
+	// classical quality-only assignment, 0 a pure worker market.
+	Lambda float64
+	// Beta in [0,1] weights money vs. interest inside the worker utility.
+	Beta float64
+	// Combiner selects the mutual-benefit combiner.
+	Combiner Combiner
+}
+
+// DefaultParams returns the balanced defaults used throughout the
+// evaluation: λ = β = 0.5 with the weighted-sum combiner.
+func DefaultParams() Params {
+	return Params{Lambda: 0.5, Beta: 0.5, Combiner: WeightedSum}
+}
+
+// Validate rejects out-of-range parameters.
+func (p Params) Validate() error {
+	if p.Lambda < 0 || p.Lambda > 1 {
+		return fmt.Errorf("benefit: Lambda %v outside [0,1]", p.Lambda)
+	}
+	if p.Beta < 0 || p.Beta > 1 {
+		return fmt.Errorf("benefit: Beta %v outside [0,1]", p.Beta)
+	}
+	if p.Combiner < WeightedSum || p.Combiner > Egalitarian {
+		return fmt.Errorf("benefit: unknown combiner %d", int(p.Combiner))
+	}
+	return nil
+}
+
+// Model evaluates benefits over one market instance.
+type Model struct {
+	in *market.Instance
+	p  Params
+}
+
+// NewModel binds params to an instance.  It returns an error for invalid
+// params or a nil instance.
+func NewModel(in *market.Instance, p Params) (*Model, error) {
+	if in == nil {
+		return nil, fmt.Errorf("benefit: nil instance")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{in: in, p: p}, nil
+}
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.p }
+
+// Instance returns the underlying market instance.
+func (m *Model) Instance() *market.Instance { return m.in }
+
+// EffectiveAccuracy is the probability worker w answers task t correctly:
+// base accuracy in t's category discounted by task difficulty towards the
+// coin-flip floor 0.5.  Always in [0.5, 1).
+func (m *Model) EffectiveAccuracy(w *market.Worker, t *market.Task) float64 {
+	return 0.5 + (w.Accuracy[t.Category]-0.5)*(1-t.Difficulty)
+}
+
+// Quality is the requester-side benefit of assigning w to t, the effective
+// accuracy rescaled from [0.5, 1) to [0, 1).
+func (m *Model) Quality(w *market.Worker, t *market.Task) float64 {
+	return 2 * (m.EffectiveAccuracy(w, t) - 0.5)
+}
+
+// WorkerUtility is the worker-side benefit of assigning w to t:
+// β · payment-surplus + (1−β) · interest, all in [0, 1].
+// Payment surplus is (p_t − r_w)/p_max clamped to [0, 1]: a task below the
+// worker's reservation wage yields zero monetary utility (but can still
+// carry interest value — hobby work exists).
+func (m *Model) WorkerUtility(w *market.Worker, t *market.Task) float64 {
+	pay := 0.0
+	if m.in.MaxPayment > 0 {
+		pay = (t.Payment - w.ReservationWage) / m.in.MaxPayment
+		if pay < 0 {
+			pay = 0
+		} else if pay > 1 {
+			pay = 1
+		}
+	}
+	return m.p.Beta*pay + (1-m.p.Beta)*w.Interest[t.Category]
+}
+
+// Combine merges a requester-side q and worker-side b into the mutual
+// benefit according to the model's combiner.  Both inputs must be in [0,1];
+// the output then is too.
+func (m *Model) Combine(q, b float64) float64 {
+	switch m.p.Combiner {
+	case WeightedSum:
+		return m.p.Lambda*q + (1-m.p.Lambda)*b
+	case NashProduct:
+		return math.Sqrt(q * b)
+	case Egalitarian:
+		if q < b {
+			return q
+		}
+		return b
+	default:
+		panic("benefit: unreachable combiner")
+	}
+}
+
+// Mutual is the combined benefit of the pair (w, t).
+func (m *Model) Mutual(w *market.Worker, t *market.Task) float64 {
+	return m.Combine(m.Quality(w, t), m.WorkerUtility(w, t))
+}

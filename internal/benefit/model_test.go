@@ -1,0 +1,217 @@
+package benefit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+func testInstance() *market.Instance {
+	return market.MustGenerate(market.Config{NumWorkers: 20, NumTasks: 20}, 7)
+}
+
+func mustModel(t *testing.T, in *market.Instance, p Params) *Model {
+	t.Helper()
+	m, err := NewModel(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	in := testInstance()
+	bad := []Params{
+		{Lambda: -0.1, Beta: 0.5},
+		{Lambda: 1.1, Beta: 0.5},
+		{Lambda: 0.5, Beta: -0.1},
+		{Lambda: 0.5, Beta: 2},
+		{Lambda: 0.5, Beta: 0.5, Combiner: Combiner(99)},
+	}
+	for i, p := range bad {
+		if _, err := NewModel(in, p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewModel(nil, DefaultParams()); err == nil {
+		t.Error("nil instance accepted")
+	}
+	if _, err := NewModel(in, DefaultParams()); err != nil {
+		t.Errorf("default params rejected: %v", err)
+	}
+}
+
+func TestEffectiveAccuracyDifficultyDiscount(t *testing.T) {
+	in := testInstance()
+	m := mustModel(t, in, DefaultParams())
+	w := &in.Workers[0]
+	easy := market.Task{Category: w.Specialties[0], Difficulty: 0}
+	hard := market.Task{Category: w.Specialties[0], Difficulty: 1}
+	if got := m.EffectiveAccuracy(w, &easy); got != w.Accuracy[easy.Category] {
+		t.Fatalf("zero difficulty should not discount: %v vs %v", got, w.Accuracy[easy.Category])
+	}
+	if got := m.EffectiveAccuracy(w, &hard); got != 0.5 {
+		t.Fatalf("difficulty 1 should reduce to coin flip, got %v", got)
+	}
+}
+
+func TestQualityRange(t *testing.T) {
+	in := testInstance()
+	m := mustModel(t, in, DefaultParams())
+	for i := range in.Workers {
+		for j := range in.Tasks {
+			q := m.Quality(&in.Workers[i], &in.Tasks[j])
+			if q < 0 || q >= 1 {
+				t.Fatalf("quality %v outside [0,1)", q)
+			}
+		}
+	}
+}
+
+func TestWorkerUtilityRange(t *testing.T) {
+	in := testInstance()
+	for _, beta := range []float64{0, 0.5, 1} {
+		m := mustModel(t, in, Params{Lambda: 0.5, Beta: beta})
+		for i := range in.Workers {
+			for j := range in.Tasks {
+				b := m.WorkerUtility(&in.Workers[i], &in.Tasks[j])
+				if b < 0 || b > 1 {
+					t.Fatalf("utility %v outside [0,1]", b)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkerUtilityReservationWage(t *testing.T) {
+	in := testInstance()
+	m := mustModel(t, in, Params{Lambda: 0.5, Beta: 1}) // money only
+	w := in.Workers[0]
+	w.ReservationWage = 1000 // above every payment
+	for j := range in.Tasks {
+		if b := m.WorkerUtility(&w, &in.Tasks[j]); b != 0 {
+			t.Fatalf("below-reservation task should yield 0 money utility, got %v", b)
+		}
+	}
+}
+
+func TestWorkerUtilityInterestOnly(t *testing.T) {
+	in := testInstance()
+	m := mustModel(t, in, Params{Lambda: 0.5, Beta: 0}) // interest only
+	w := &in.Workers[0]
+	task := &in.Tasks[0]
+	if got := m.WorkerUtility(w, task); got != w.Interest[task.Category] {
+		t.Fatalf("beta=0 utility %v != interest %v", got, w.Interest[task.Category])
+	}
+}
+
+func TestCombinersKnownValues(t *testing.T) {
+	in := testInstance()
+	cases := []struct {
+		c    Combiner
+		q, b float64
+		want float64
+	}{
+		{WeightedSum, 0.8, 0.4, 0.6},
+		{WeightedSum, 0, 1, 0.5},
+		{NashProduct, 0.25, 1, 0.5},
+		{NashProduct, 0, 0.9, 0},
+		{Egalitarian, 0.3, 0.7, 0.3},
+		{Egalitarian, 0.9, 0.2, 0.2},
+	}
+	for _, tc := range cases {
+		m := mustModel(t, in, Params{Lambda: 0.5, Beta: 0.5, Combiner: tc.c})
+		if got := m.Combine(tc.q, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%v.Combine(%v,%v) = %v, want %v", tc.c, tc.q, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLambdaExtremes(t *testing.T) {
+	in := testInstance()
+	mQ := mustModel(t, in, Params{Lambda: 1, Beta: 0.5})
+	mB := mustModel(t, in, Params{Lambda: 0, Beta: 0.5})
+	w := &in.Workers[0]
+	task := &in.Tasks[0]
+	if mQ.Mutual(w, task) != mQ.Quality(w, task) {
+		t.Fatal("lambda=1 mutual should equal quality")
+	}
+	if mB.Mutual(w, task) != mB.WorkerUtility(w, task) {
+		t.Fatal("lambda=0 mutual should equal worker utility")
+	}
+}
+
+func TestCombinerString(t *testing.T) {
+	if WeightedSum.String() != "weighted-sum" || NashProduct.String() != "nash-product" ||
+		Egalitarian.String() != "egalitarian" {
+		t.Fatal("combiner names wrong")
+	}
+	if Combiner(42).String() == "" {
+		t.Fatal("unknown combiner should still render")
+	}
+}
+
+// Property: all combiners are monotone in both arguments and bounded by the
+// DESIGN.md ordering Egalitarian ≤ NashProduct and Egalitarian ≤ WeightedSum.
+func TestQuickCombinerProperties(t *testing.T) {
+	in := testInstance()
+	ws := mustModel(t, in, Params{Lambda: 0.5, Beta: 0.5, Combiner: WeightedSum})
+	np := mustModel(t, in, Params{Lambda: 0.5, Beta: 0.5, Combiner: NashProduct})
+	eg := mustModel(t, in, Params{Lambda: 0.5, Beta: 0.5, Combiner: Egalitarian})
+	f := func(q1000, b1000, dq1000 uint16) bool {
+		q := float64(q1000%1001) / 1000
+		b := float64(b1000%1001) / 1000
+		dq := float64(dq1000%1001) / 1000 * (1 - q)
+		for _, m := range []*Model{ws, np, eg} {
+			v := m.Combine(q, b)
+			if v < -1e-12 || v > 1+1e-12 {
+				return false
+			}
+			// Monotone in q.
+			if m.Combine(q+dq, b)+1e-12 < v {
+				return false
+			}
+		}
+		e, n := eg.Combine(q, b), np.Combine(q, b)
+		w := ws.Combine(q, b)
+		return e <= n+1e-12 && e <= w+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mutual stays in [0,1] over random instances and params.
+func TestQuickMutualBounded(t *testing.T) {
+	f := func(seed uint64, l1000, b1000 uint16, comb uint8) bool {
+		in, err := market.Generate(market.Config{NumWorkers: 5, NumTasks: 5}, seed)
+		if err != nil {
+			return false
+		}
+		p := Params{
+			Lambda:   float64(l1000%1001) / 1000,
+			Beta:     float64(b1000%1001) / 1000,
+			Combiner: Combiner(comb % 3),
+		}
+		m, err := NewModel(in, p)
+		if err != nil {
+			return false
+		}
+		r := stats.NewRNG(seed)
+		for trial := 0; trial < 10; trial++ {
+			w := &in.Workers[r.Intn(len(in.Workers))]
+			task := &in.Tasks[r.Intn(len(in.Tasks))]
+			mu := m.Mutual(w, task)
+			if mu < 0 || mu > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package bipartite implements the graph-algorithm substrate of the
+// reproduction: weighted bipartite graphs, maximum-cardinality matching
+// (Hopcroft–Karp), maximum-weight perfect matching (Hungarian / Kuhn–
+// Munkres), maximum flow (Dinic) and minimum-cost maximum-flow (successive
+// shortest paths with Johnson potentials).
+//
+// The paper's central observation is that a labor market is a *bipartite*
+// structure — workers on one side, tasks on the other — and that assignment
+// must respect degree constraints on both sides.  The exact optimum of the
+// linear mutual-benefit objective (MBA-L in DESIGN.md) is a maximum-weight
+// degree-constrained b-matching, which this package solves via a min-cost
+// flow reduction.  The heuristic and online algorithms in internal/core are
+// all measured against that optimum.
+package bipartite
+
+import "fmt"
+
+// Edge is a weighted edge between left vertex L and right vertex R.
+type Edge struct {
+	L, R   int
+	Weight float64
+}
+
+// Graph is a weighted bipartite graph with nL left vertices and nR right
+// vertices.  Vertices are dense integer ids (0-based on each side); the
+// market layer maps worker/task identities onto them.
+type Graph struct {
+	nL, nR int
+	edges  []Edge
+	adjL   [][]int32 // adjL[l] lists indices into edges
+	adjR   [][]int32
+	dirty  bool
+}
+
+// NewGraph returns an empty bipartite graph with the given side sizes.
+// It panics on negative sizes.
+func NewGraph(nL, nR int) *Graph {
+	if nL < 0 || nR < 0 {
+		panic("bipartite: negative side size")
+	}
+	return &Graph{
+		nL:   nL,
+		nR:   nR,
+		adjL: make([][]int32, nL),
+		adjR: make([][]int32, nR),
+	}
+}
+
+// NL returns the number of left vertices.
+func (g *Graph) NL() int { return g.nL }
+
+// NR returns the number of right vertices.
+func (g *Graph) NR() int { return g.nR }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge appends an edge (l, r, w).  Duplicate pairs are allowed by the
+// graph itself (the assignment layer forbids them) — algorithms treat them
+// as parallel edges.  It panics on out-of-range endpoints.
+func (g *Graph) AddEdge(l, r int, w float64) {
+	if l < 0 || l >= g.nL || r < 0 || r >= g.nR {
+		panic(fmt.Sprintf("bipartite: edge (%d,%d) out of range (%d,%d)", l, r, g.nL, g.nR))
+	}
+	idx := int32(len(g.edges))
+	g.edges = append(g.edges, Edge{L: l, R: r, Weight: w})
+	g.adjL[l] = append(g.adjL[l], idx)
+	g.adjR[r] = append(g.adjR[r], idx)
+}
+
+// Edge returns the i-th edge.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns the backing edge slice.  Callers must not mutate it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// DegreeL returns the degree of left vertex l.
+func (g *Graph) DegreeL(l int) int { return len(g.adjL[l]) }
+
+// DegreeR returns the degree of right vertex r.
+func (g *Graph) DegreeR(r int) int { return len(g.adjR[r]) }
+
+// AdjL returns the edge indices incident to left vertex l.  Callers must not
+// mutate the returned slice.
+func (g *Graph) AdjL(l int) []int32 { return g.adjL[l] }
+
+// AdjR returns the edge indices incident to right vertex r.
+func (g *Graph) AdjR(r int) []int32 { return g.adjR[r] }
+
+// TotalWeight sums all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.edges {
+		s += e.Weight
+	}
+	return s
+}

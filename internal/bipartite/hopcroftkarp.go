@@ -1,0 +1,77 @@
+package bipartite
+
+// HopcroftKarp computes a maximum-cardinality matching of g in
+// O(E·√V) time.  It returns matchL where matchL[l] is the right vertex
+// matched to l, or -1 if l is unmatched, together with the matching size.
+//
+// The assignment layer uses it for feasibility probes ("can every task be
+// covered at all?") and the test suite uses it to cross-check the flow-based
+// solvers.
+func HopcroftKarp(g *Graph) (matchL []int, size int) {
+	const inf = int(^uint(0) >> 1)
+	nL, nR := g.NL(), g.NR()
+	matchL = make([]int, nL)
+	matchR := make([]int, nR)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nL)
+	queue := make([]int, 0, nL)
+
+	// bfs builds the layered graph of alternating paths from free left
+	// vertices; it returns true if at least one augmenting path exists.
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < nL; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, ei := range g.AdjL(l) {
+				r := g.Edge(int(ei)).R
+				next := matchR[r]
+				if next == -1 {
+					found = true
+				} else if dist[next] == inf {
+					dist[next] = dist[l] + 1
+					queue = append(queue, next)
+				}
+			}
+		}
+		return found
+	}
+
+	// dfs searches for an augmenting path from l along the layered graph.
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, ei := range g.AdjL(l) {
+			r := g.Edge(int(ei)).R
+			next := matchR[r]
+			if next == -1 || (dist[next] == dist[l]+1 && dfs(next)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < nL; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}

@@ -1,0 +1,115 @@
+package bipartite
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestHopcroftKarpPerfect(t *testing.T) {
+	// 3x3 with a perfect matching along the diagonal plus noise edges.
+	g := NewGraph(3, 3)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 1, 1)
+	g.AddEdge(2, 2, 1)
+	match, size := HopcroftKarp(g)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3 (match %v)", size, match)
+	}
+	checkMatchingValid(t, g, match)
+}
+
+func TestHopcroftKarpNoEdges(t *testing.T) {
+	g := NewGraph(4, 4)
+	match, size := HopcroftKarp(g)
+	if size != 0 {
+		t.Fatalf("size = %d", size)
+	}
+	for _, m := range match {
+		if m != -1 {
+			t.Fatal("unmatched vertices must map to -1")
+		}
+	}
+}
+
+func TestHopcroftKarpStar(t *testing.T) {
+	// Every left vertex connects only to right vertex 0: max matching is 1.
+	g := NewGraph(5, 3)
+	for l := 0; l < 5; l++ {
+		g.AddEdge(l, 0, 1)
+	}
+	_, size := HopcroftKarp(g)
+	if size != 1 {
+		t.Fatalf("star matching size = %d", size)
+	}
+}
+
+func TestHopcroftKarpNeedsAugmentation(t *testing.T) {
+	// Classic instance where the greedy matching must be augmented:
+	// L0-{R0,R1}, L1-{R0}.  Greedy might match L0-R0 and strand L1.
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1)
+	_, size := HopcroftKarp(g)
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+}
+
+func TestHopcroftKarpMatchesFlow(t *testing.T) {
+	// Cross-check max matching against Dinic unit-capacity flow on random
+	// graphs.
+	r := stats.NewRNG(101)
+	for trial := 0; trial < 30; trial++ {
+		nL := r.IntRange(1, 12)
+		nR := r.IntRange(1, 12)
+		g := NewGraph(nL, nR)
+		for l := 0; l < nL; l++ {
+			for rr := 0; rr < nR; rr++ {
+				if r.Bool(0.3) {
+					g.AddEdge(l, rr, 1)
+				}
+			}
+		}
+		_, hkSize := HopcroftKarp(g)
+
+		ones := func(n int) []int {
+			s := make([]int, n)
+			for i := range s {
+				s[i] = 1
+			}
+			return s
+		}
+		fm := MaxCardinalityBMatching(g, ones(nL), ones(nR))
+		if hkSize != len(fm.EdgeIdx) {
+			t.Fatalf("trial %d: HK %d vs flow %d", trial, hkSize, len(fm.EdgeIdx))
+		}
+	}
+}
+
+// checkMatchingValid asserts matchL encodes a valid matching of g.
+func checkMatchingValid(t *testing.T, g *Graph, matchL []int) {
+	t.Helper()
+	usedR := map[int]bool{}
+	for l, r := range matchL {
+		if r == -1 {
+			continue
+		}
+		if usedR[r] {
+			t.Fatalf("right vertex %d matched twice", r)
+		}
+		usedR[r] = true
+		found := false
+		for _, ei := range g.AdjL(l) {
+			if g.Edge(int(ei)).R == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) is not an edge", l, r)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package bipartite
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the classic assignment problem: given an n×m cost matrix
+// (n ≤ m), find a minimum-cost assignment of every row to a distinct column.
+// It returns rowMatch (rowMatch[i] = column assigned to row i) and the total
+// cost.  The implementation is the O(n²·m) shortest-augmenting-path variant
+// of the Kuhn–Munkres algorithm with potentials (the "e-maxx" formulation).
+//
+// The library uses it in two places: as an independent exact solver the
+// test-suite cross-checks min-cost-flow against on unit-capacity instances,
+// and directly for one-worker-one-task markets where it is faster than the
+// general flow reduction.
+//
+// It panics if n > m or the matrix is ragged.
+func Hungarian(cost [][]float64) (rowMatch []int, total float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	for i, row := range cost {
+		if len(row) != m {
+			panic(fmt.Sprintf("bipartite: ragged cost matrix at row %d", i))
+		}
+	}
+	if n > m {
+		panic("bipartite: Hungarian requires rows <= columns")
+	}
+
+	// Potentials u (rows) and v (columns); p[j] = row matched to column j,
+	// all 1-indexed internally with 0 as a virtual root.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Unwind the augmenting path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowMatch = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			rowMatch[p[j]-1] = j - 1
+		}
+	}
+	for i, j := range rowMatch {
+		total += cost[i][j]
+	}
+	return rowMatch, total
+}
+
+// HungarianMax solves the maximisation variant: it finds the assignment of
+// rows to distinct columns maximising total weight, by negating the matrix
+// and delegating to Hungarian.  Returns rowMatch and the maximised total.
+func HungarianMax(weight [][]float64) (rowMatch []int, total float64) {
+	n := len(weight)
+	if n == 0 {
+		return nil, 0
+	}
+	neg := make([][]float64, n)
+	for i, row := range weight {
+		neg[i] = make([]float64, len(row))
+		for j, w := range row {
+			neg[i][j] = -w
+		}
+	}
+	rowMatch, negTotal := Hungarian(neg)
+	return rowMatch, -negTotal
+}

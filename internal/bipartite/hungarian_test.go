@@ -1,0 +1,151 @@
+package bipartite
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestHungarianKnownSquare(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	match, total := Hungarian(cost)
+	// Optimal: row0→col1 (1), row1→col0 (2), row2→col2 (2) = 5.
+	if total != 5 {
+		t.Fatalf("total = %v, want 5 (match %v)", total, match)
+	}
+	checkAssignmentValid(t, match, 3)
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	cost := [][]float64{
+		{10, 1, 10, 10},
+		{10, 10, 2, 10},
+	}
+	match, total := Hungarian(cost)
+	if total != 3 {
+		t.Fatalf("total = %v, want 3", total)
+	}
+	if match[0] != 1 || match[1] != 2 {
+		t.Fatalf("match = %v", match)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	match, total := Hungarian(nil)
+	if match != nil || total != 0 {
+		t.Fatal("empty problem should be trivial")
+	}
+}
+
+func TestHungarianSingle(t *testing.T) {
+	match, total := Hungarian([][]float64{{7}})
+	if len(match) != 1 || match[0] != 0 || total != 7 {
+		t.Fatalf("single: %v %v", match, total)
+	}
+}
+
+func TestHungarianPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rows > cols did not panic")
+			}
+		}()
+		Hungarian([][]float64{{1}, {2}})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ragged matrix did not panic")
+			}
+		}()
+		Hungarian([][]float64{{1, 2}, {3}})
+	}()
+}
+
+func TestHungarianMax(t *testing.T) {
+	weight := [][]float64{
+		{1, 5},
+		{5, 1},
+	}
+	match, total := HungarianMax(weight)
+	if total != 10 {
+		t.Fatalf("max total = %v, want 10", total)
+	}
+	if match[0] != 1 || match[1] != 0 {
+		t.Fatalf("match = %v", match)
+	}
+}
+
+func TestHungarianNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-1, 4},
+		{4, -1},
+	}
+	_, total := Hungarian(cost)
+	if total != -2 {
+		t.Fatalf("total = %v, want -2", total)
+	}
+}
+
+// Brute-force assignment by permutation enumeration, for cross-checking.
+func bruteAssign(cost [][]float64) float64 {
+	n := len(cost)
+	m := len(cost[0])
+	best := math.Inf(1)
+	used := make([]bool, m)
+	var rec func(row int, acc float64)
+	rec = func(row int, acc float64) {
+		if row == n {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		for c := 0; c < m; c++ {
+			if !used[c] {
+				used[c] = true
+				rec(row+1, acc+cost[row][c])
+				used[c] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	r := stats.NewRNG(202)
+	for trial := 0; trial < 50; trial++ {
+		n := r.IntRange(1, 6)
+		m := n + r.IntRange(0, 2)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(r.Float64Range(-10, 10)*100) / 100
+			}
+		}
+		_, got := Hungarian(cost)
+		want := bruteAssign(cost)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Hungarian %v vs brute %v for %v", trial, got, want, cost)
+		}
+	}
+}
+
+func checkAssignmentValid(t *testing.T, match []int, m int) {
+	t.Helper()
+	used := map[int]bool{}
+	for _, c := range match {
+		if c < 0 || c >= m || used[c] {
+			t.Fatalf("invalid assignment %v", match)
+		}
+		used[c] = true
+	}
+}

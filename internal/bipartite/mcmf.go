@@ -1,0 +1,217 @@
+package bipartite
+
+import "math"
+
+// MCMFResult reports the outcome of a minimum-cost flow computation.
+type MCMFResult struct {
+	Flow int64 // total flow pushed
+	Cost int64 // total cost of that flow
+}
+
+// MinCostFlow pushes flow from s to t along successive shortest (cheapest)
+// paths until either maxFlow units have been sent or no augmenting path
+// remains.  If stopAtNonNegative is true it additionally stops as soon as the
+// cheapest augmenting path has non-negative cost — exactly the stopping rule
+// that turns a min-cost-flow solver into a *maximum-weight* b-matching solver
+// when edge weights are encoded as negated costs.
+//
+// Costs may be negative on original arcs (they are, in the b-matching
+// reduction); the implementation runs one Bellman–Ford pass to initialise
+// Johnson potentials and then uses Dijkstra with reduced costs for every
+// subsequent augmentation, giving O(F·E·logV) after the O(V·E) start-up.
+func (f *FlowNetwork) MinCostFlow(s, t int, maxFlow int64, stopAtNonNegative bool) MCMFResult {
+	if s == t {
+		panic("bipartite: MinCostFlow with s == t")
+	}
+	const inf = int64(math.MaxInt64 / 4)
+
+	pot := f.bellmanFord(s)
+	dist := make([]int64, f.n)
+	prevArc := make([]int32, f.n)
+	inHeap := make([]int32, f.n) // position in heap + 1; 0 = absent
+
+	var res MCMFResult
+	for res.Flow < maxFlow {
+		// Dijkstra over reduced costs.
+		for i := range dist {
+			dist[i] = inf
+			prevArc[i] = -1
+			inHeap[i] = 0
+		}
+		dist[s] = 0
+		h := heap64{pos: inHeap}
+		h.push(int32(s), 0)
+		for h.len() > 0 {
+			v, dv := h.pop()
+			if dv > dist[v] {
+				continue
+			}
+			for a := f.head[v]; a != -1; a = f.next[a] {
+				if f.cap[a] <= 0 {
+					continue
+				}
+				w := f.to[a]
+				// Reduced cost is non-negative once potentials are valid.
+				rc := f.cost[a] + pot[v] - pot[w]
+				nd := dist[v] + rc
+				if nd < dist[w] {
+					dist[w] = nd
+					prevArc[w] = a
+					h.push(w, nd)
+				}
+			}
+		}
+		if dist[t] >= inf {
+			break // t unreachable in the residual graph
+		}
+		realPathCost := dist[t] - pot[s] + pot[t]
+		if stopAtNonNegative && realPathCost >= 0 {
+			break
+		}
+		// Update potentials for the next round.
+		for v := 0; v < f.n; v++ {
+			if dist[v] < inf {
+				pot[v] += dist[v]
+			}
+		}
+		// Bottleneck along the path.
+		push := maxFlow - res.Flow
+		for v := int32(t); v != int32(s); {
+			a := prevArc[v]
+			if f.cap[a] < push {
+				push = f.cap[a]
+			}
+			v = f.to[a^1]
+		}
+		for v := int32(t); v != int32(s); {
+			a := prevArc[v]
+			f.cap[a] -= push
+			f.cap[a^1] += push
+			v = f.to[a^1]
+		}
+		res.Flow += push
+		res.Cost += push * realPathCost
+	}
+	return res
+}
+
+// bellmanFord computes shortest-path potentials from s over arcs with
+// positive residual capacity, tolerating negative costs.  Vertices
+// unreachable from s keep a large-but-finite potential so later reduced
+// costs stay well-defined.
+func (f *FlowNetwork) bellmanFord(s int) []int64 {
+	const inf = int64(math.MaxInt64 / 4)
+	pot := make([]int64, f.n)
+	for i := range pot {
+		pot[i] = inf
+	}
+	pot[s] = 0
+	// SPFA (queue-based Bellman-Ford) — fast on the layered DAG-like
+	// networks the b-matching reduction produces.
+	inQueue := make([]bool, f.n)
+	queue := make([]int32, 0, f.n)
+	queue = append(queue, int32(s))
+	inQueue[s] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		for a := f.head[v]; a != -1; a = f.next[a] {
+			if f.cap[a] <= 0 {
+				continue
+			}
+			w := f.to[a]
+			nd := pot[v] + f.cost[a]
+			if nd < pot[w] {
+				pot[w] = nd
+				if !inQueue[w] {
+					queue = append(queue, w)
+					inQueue[w] = true
+				}
+			}
+		}
+	}
+	for i := range pot {
+		if pot[i] == inf {
+			pot[i] = 0 // unreachable: potential value is irrelevant
+		}
+	}
+	return pot
+}
+
+// heap64 is a small binary min-heap of (vertex, priority) used by Dijkstra.
+// pos tracks heap positions (+1) for decrease-key.
+type heap64 struct {
+	vs  []int32
+	ds  []int64
+	pos []int32
+}
+
+func (h *heap64) len() int { return len(h.vs) }
+
+func (h *heap64) push(v int32, d int64) {
+	if p := h.pos[v]; p != 0 {
+		// decrease-key
+		i := int(p - 1)
+		if d >= h.ds[i] {
+			return
+		}
+		h.ds[i] = d
+		h.up(i)
+		return
+	}
+	h.vs = append(h.vs, v)
+	h.ds = append(h.ds, d)
+	h.pos[v] = int32(len(h.vs))
+	h.up(len(h.vs) - 1)
+}
+
+func (h *heap64) pop() (int32, int64) {
+	v, d := h.vs[0], h.ds[0]
+	last := len(h.vs) - 1
+	h.swap(0, last)
+	h.pos[v] = 0
+	h.vs = h.vs[:last]
+	h.ds = h.ds[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return v, d
+}
+
+func (h *heap64) swap(i, j int) {
+	h.vs[i], h.vs[j] = h.vs[j], h.vs[i]
+	h.ds[i], h.ds[j] = h.ds[j], h.ds[i]
+	h.pos[h.vs[i]] = int32(i + 1)
+	h.pos[h.vs[j]] = int32(j + 1)
+}
+
+func (h *heap64) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ds[p] <= h.ds[i] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *heap64) down(i int) {
+	n := len(h.vs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.ds[l] < h.ds[small] {
+			small = l
+		}
+		if r < n && h.ds[r] < h.ds[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,140 @@
+package bipartite
+
+// MaxFlowPushRelabel computes the maximum s→t flow with the push-relabel
+// (Goldberg–Tarjan) algorithm using the FIFO active-vertex rule and the
+// two standard heuristics that make it fast in practice:
+//
+//   - gap relabeling: when a height level empties, every vertex above it is
+//     lifted past n (it can no longer reach t);
+//   - periodic global relabeling: heights reset to exact BFS distances from
+//     t in the residual graph.
+//
+// It exists alongside Dinic as a design-choice ablation: the two flow
+// engines expose very different constant factors on the shallow, wide
+// networks the b-matching reduction produces, and BenchmarkFlowEngines
+// quantifies the difference.  Results are cross-checked against Dinic in
+// the tests, and per-arc flows are readable through Flow afterwards.
+func (f *FlowNetwork) MaxFlowPushRelabel(s, t int) int64 {
+	if s == t {
+		panic("bipartite: MaxFlowPushRelabel with s == t")
+	}
+	n := f.n
+	height := make([]int32, n)
+	excess := make([]int64, n)
+	countAt := make([]int32, 2*n+1) // vertices per height level
+
+	// Initial heights from a backward BFS from t (global relabel).
+	globalRelabel := func() {
+		for i := range height {
+			height[i] = int32(2 * n)
+		}
+		height[t] = 0
+		queue := make([]int32, 0, n)
+		queue = append(queue, int32(t))
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for a := f.head[v]; a != -1; a = f.next[a] {
+				// Arc a^1 is w→v; it must have residual capacity.
+				w := f.to[a]
+				if f.cap[a^1] > 0 && height[w] == int32(2*n) && int(w) != s {
+					height[w] = height[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		height[s] = int32(n)
+		for i := range countAt {
+			countAt[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			countAt[height[v]]++
+		}
+	}
+	globalRelabel()
+
+	// Saturate all source arcs.
+	active := make([]int32, 0, n)
+	inActive := make([]bool, n)
+	enqueue := func(v int32) {
+		if !inActive[v] && excess[v] > 0 && int(v) != s && int(v) != t {
+			inActive[v] = true
+			active = append(active, v)
+		}
+	}
+	for a := f.head[s]; a != -1; a = f.next[a] {
+		if f.cap[a] > 0 {
+			d := f.cap[a]
+			f.cap[a] -= d
+			f.cap[a^1] += d
+			excess[f.to[a]] += d
+			excess[s] -= d
+			enqueue(f.to[a])
+		}
+	}
+
+	relabels := 0
+	work := 0
+	for len(active) > 0 {
+		v := active[0]
+		active = active[1:]
+		inActive[v] = false
+		// Discharge v.
+		for excess[v] > 0 {
+			pushed := false
+			for a := f.head[v]; a != -1 && excess[v] > 0; a = f.next[a] {
+				w := f.to[a]
+				if f.cap[a] > 0 && height[v] == height[w]+1 {
+					d := min64(excess[v], f.cap[a])
+					f.cap[a] -= d
+					f.cap[a^1] += d
+					excess[v] -= d
+					excess[w] += d
+					enqueue(w)
+					pushed = true
+				}
+				work++
+			}
+			if excess[v] == 0 {
+				break
+			}
+			if !pushed {
+				// Relabel with gap heuristic.
+				old := height[v]
+				minH := int32(2 * n)
+				for a := f.head[v]; a != -1; a = f.next[a] {
+					if f.cap[a] > 0 && height[f.to[a]] < minH {
+						minH = height[f.to[a]]
+					}
+				}
+				if minH >= int32(2*n) {
+					height[v] = int32(2 * n)
+				} else {
+					height[v] = minH + 1
+				}
+				countAt[old]--
+				countAt[height[v]]++
+				if countAt[old] == 0 && old < int32(n) {
+					// Gap: lift everything above the emptied level.
+					for u := 0; u < n; u++ {
+						if height[u] > old && height[u] < int32(n) && u != s {
+							countAt[height[u]]--
+							height[u] = int32(n + 1)
+							countAt[height[u]]++
+						}
+					}
+				}
+				relabels++
+				if height[v] >= int32(2*n) {
+					break // v can never push again
+				}
+			}
+			// Periodic global relabeling keeps heights sharp.
+			if work > 8*n && relabels > n {
+				globalRelabel()
+				work = 0
+				relabels = 0
+			}
+		}
+	}
+	return excess[t]
+}

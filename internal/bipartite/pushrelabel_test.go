@@ -1,0 +1,143 @@
+package bipartite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// buildRandomNetwork creates a random DAG-ish network plus a copy, so two
+// engines can each consume a fresh residual graph.
+func buildRandomNetwork(r *stats.RNG, n int, density float64) (*FlowNetwork, *FlowNetwork) {
+	a := NewFlowNetwork(n, n*n)
+	b := NewFlowNetwork(n, n*n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && r.Bool(density) {
+				c := int64(r.IntRange(1, 10))
+				a.AddEdge(u, v, c, 0)
+				b.AddEdge(u, v, c, 0)
+			}
+		}
+	}
+	return a, b
+}
+
+func TestPushRelabelSimple(t *testing.T) {
+	f := NewFlowNetwork(4, 5)
+	f.AddEdge(0, 1, 3, 0)
+	f.AddEdge(0, 2, 2, 0)
+	f.AddEdge(1, 3, 2, 0)
+	f.AddEdge(2, 3, 3, 0)
+	f.AddEdge(1, 2, 1, 0)
+	if got := f.MaxFlowPushRelabel(0, 3); got != 5 {
+		t.Fatalf("flow = %d, want 5", got)
+	}
+}
+
+func TestPushRelabelDisconnected(t *testing.T) {
+	f := NewFlowNetwork(3, 1)
+	f.AddEdge(0, 1, 10, 0)
+	if got := f.MaxFlowPushRelabel(0, 2); got != 0 {
+		t.Fatalf("flow = %d", got)
+	}
+}
+
+func TestPushRelabelMatchesDinicRandom(t *testing.T) {
+	r := stats.NewRNG(71)
+	for trial := 0; trial < 40; trial++ {
+		n := r.IntRange(3, 12)
+		a, b := buildRandomNetwork(r, n, 0.4)
+		fa := a.MaxFlow(0, n-1)
+		fb := b.MaxFlowPushRelabel(0, n-1)
+		if fa != fb {
+			t.Fatalf("trial %d: dinic %d vs push-relabel %d", trial, fa, fb)
+		}
+	}
+}
+
+func TestPushRelabelBipartiteShape(t *testing.T) {
+	// The b-matching network shape: source → workers → tasks → sink.
+	r := stats.NewRNG(72)
+	for trial := 0; trial < 15; trial++ {
+		nW := r.IntRange(2, 8)
+		nT := r.IntRange(2, 8)
+		n := nW + nT + 2
+		a := NewFlowNetwork(n, n*n)
+		b := NewFlowNetwork(n, n*n)
+		add := func(u, v int, c int64) {
+			a.AddEdge(u, v, c, 0)
+			b.AddEdge(u, v, c, 0)
+		}
+		for w := 0; w < nW; w++ {
+			add(0, 1+w, int64(r.IntRange(1, 3)))
+		}
+		for tt := 0; tt < nT; tt++ {
+			add(1+nW+tt, n-1, int64(r.IntRange(1, 3)))
+		}
+		for w := 0; w < nW; w++ {
+			for tt := 0; tt < nT; tt++ {
+				if r.Bool(0.5) {
+					add(1+w, 1+nW+tt, 1)
+				}
+			}
+		}
+		fa := a.MaxFlow(0, n-1)
+		fb := b.MaxFlowPushRelabel(0, n-1)
+		if fa != fb {
+			t.Fatalf("trial %d: dinic %d vs push-relabel %d", trial, fa, fb)
+		}
+	}
+}
+
+func TestPushRelabelPerArcFlowsConsistent(t *testing.T) {
+	// Flow conservation at internal vertices after push-relabel.
+	r := stats.NewRNG(73)
+	n := 10
+	f, _ := buildRandomNetwork(r, n, 0.4)
+	total := f.MaxFlowPushRelabel(0, n-1)
+	// Net outflow of source must equal total, and conservation must hold
+	// elsewhere.  Reconstruct per-arc flows from residuals.
+	net := make([]int64, n)
+	for v := 0; v < n; v++ {
+		for a := f.head[v]; a != -1; a = f.next[a] {
+			if a%2 == 0 { // original arc
+				flow := f.cap[a^1]
+				net[v] -= flow
+				net[f.to[a]] += flow
+			}
+		}
+	}
+	if net[0] != -total || net[n-1] != total {
+		t.Fatalf("source/sink imbalance: %d, %d, total %d", net[0], net[n-1], total)
+	}
+	for v := 1; v < n-1; v++ {
+		if net[v] != 0 {
+			t.Fatalf("conservation violated at %d: %d", v, net[v])
+		}
+	}
+}
+
+func TestPushRelabelPanicsOnSameST(t *testing.T) {
+	f := NewFlowNetwork(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	f.MaxFlowPushRelabel(1, 1)
+}
+
+// Property: the two engines agree on arbitrary random instances.
+func TestQuickFlowEnginesAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.IntRange(3, 10)
+		a, b := buildRandomNetwork(r, n, 0.35)
+		return a.MaxFlow(0, n-1) == b.MaxFlowPushRelabel(0, n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+// Adversarial and robustness tests: the worst-case structures the
+// average-case experiments never generate.
+
+// TestOnlineGreedyWorstCaseHalf reproduces the classical ½-competitive
+// lower-bound structure for greedy matching: a "chain" where taking the
+// locally best edge wastes capacity the optimum needs.  Online greedy must
+// still deliver at least half the optimum (its guarantee) on every arrival
+// order.
+func TestOnlineGreedyWorstCaseHalf(t *testing.T) {
+	// Workers w0, w1; tasks t0, t1.  Edges: (w0,t0)=0.5+ε, (w0,t1)=0.5,
+	// (w1,t0)=0.5.  If w0 arrives first it grabs t0 (slightly better),
+	// leaving w1 stranded (no edge to t1): value ≈ 0.5 vs OPT = 1.0.
+	in := &market.Instance{
+		Name:          "adversarial-chain",
+		NumCategories: 2,
+		Workers: []market.Worker{
+			{ID: 0, Capacity: 1, Accuracy: []float64{0.8, 0.8}, Interest: []float64{0.52, 0.5}, Specialties: []int{0, 1}},
+			{ID: 1, Capacity: 1, Accuracy: []float64{0.8, 0.8}, Interest: []float64{0.5, 0}, Specialties: []int{0}},
+		},
+		Tasks: []market.Task{
+			{ID: 0, Category: 0, Replication: 1, Payment: 1, Difficulty: 0},
+			{ID: 1, Category: 1, Replication: 1, Payment: 1, Difficulty: 0},
+		},
+		MaxPayment: 1,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := MustNewProblem(in, benefit.Params{Lambda: 0, Beta: 0})
+	eSel, _ := (Exact{Kind: MutualWeight}).Solve(p, nil)
+	opt := p.Evaluate(eSel).TotalMutual
+	worst := math.Inf(1)
+	for seed := uint64(1); seed <= 32; seed++ {
+		sel, err := (OnlineGreedy{Kind: MutualWeight}).Solve(p, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := p.Evaluate(sel).TotalMutual; v < worst {
+			worst = v
+		}
+	}
+	if worst < opt/2-1e-9 {
+		t.Fatalf("online greedy fell below its 1/2 guarantee: %v vs opt %v", worst, opt)
+	}
+	if worst > 0.75*opt {
+		t.Fatalf("adversarial instance miscalibrated: worst order achieved %v of opt %v", worst, opt)
+	}
+}
+
+// TestGreedyTightHalfBound drives batch greedy to exactly its tight bound
+// on the trap instance and confirms the exact solver doubles it.
+func TestGreedyTightHalfBound(t *testing.T) {
+	p := trapProblem(t)
+	gSel, _ := (Greedy{Kind: MutualWeight}).Solve(p, nil)
+	eSel, _ := (Exact{Kind: MutualWeight}).Solve(p, nil)
+	g := p.Evaluate(gSel).TotalMutual
+	e := p.Evaluate(eSel).TotalMutual
+	ratio := g / e
+	if ratio < 0.5-1e-9 {
+		t.Fatalf("greedy broke its guarantee: %v", ratio)
+	}
+	if ratio > 0.6 {
+		t.Fatalf("trap not tight: ratio %v", ratio)
+	}
+	// Local search must escape it completely.
+	lSel, _ := (LocalSearch{Kind: MutualWeight}).Solve(p, nil)
+	if l := p.Evaluate(lSel).TotalMutual; math.Abs(l-e) > 1e-9 {
+		t.Fatalf("local search did not reach exact on the trap: %v vs %v", l, e)
+	}
+}
+
+// TestSolversOnSaturatedMarket exercises the regime where demand vastly
+// exceeds supply (every worker slot contested).
+func TestSolversOnSaturatedMarket(t *testing.T) {
+	in := market.MustGenerate(market.Config{
+		NumWorkers: 10, NumTasks: 200,
+		MinCapacity: 1, MaxCapacity: 1,
+		MinReplication: 3, MaxReplication: 5,
+	}, 81)
+	p := MustNewProblem(in, benefit.DefaultParams())
+	for _, s := range allSolvers() {
+		sel, err := s.Solve(p, stats.NewRNG(1))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := p.Feasible(sel); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(sel) > in.TotalCapacity() {
+			t.Fatalf("%s assigned beyond total capacity", s.Name())
+		}
+	}
+}
+
+// TestSolversOnStarvedMarket exercises the opposite regime: a single task
+// in a sea of workers.
+func TestSolversOnStarvedMarket(t *testing.T) {
+	in := market.MustGenerate(market.Config{
+		NumWorkers: 200, NumTasks: 1, NumCategories: 2,
+		MinSpecialties: 2, MaxSpecialties: 2,
+	}, 82)
+	p := MustNewProblem(in, benefit.DefaultParams())
+	for _, s := range allSolvers() {
+		sel, err := s.Solve(p, stats.NewRNG(1))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(sel) > in.Tasks[0].Replication {
+			t.Fatalf("%s over-assigned the single task", s.Name())
+		}
+	}
+}
+
+// TestUniformWeightsDegenerate checks tie-heavy instances (all weights
+// equal) don't break deterministic tie-breaking or feasibility.
+func TestUniformWeightsDegenerate(t *testing.T) {
+	in := &market.Instance{
+		Name:          "ties",
+		NumCategories: 1,
+		MaxPayment:    1,
+	}
+	for i := 0; i < 10; i++ {
+		in.Workers = append(in.Workers, market.Worker{
+			ID: i, Capacity: 2,
+			Accuracy:    []float64{0.75},
+			Interest:    []float64{0.5},
+			Specialties: []int{0},
+		})
+	}
+	for j := 0; j < 10; j++ {
+		in.Tasks = append(in.Tasks, market.Task{
+			ID: j, Category: 0, Replication: 2, Payment: 1, Difficulty: 0.5,
+		})
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := MustNewProblem(in, benefit.DefaultParams())
+	for _, s := range allSolvers() {
+		sel, err := s.Solve(p, stats.NewRNG(1))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := p.Feasible(sel); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		// All weights identical → every maximal assignment has the same
+		// value; exact and greedy must agree exactly.
+	}
+	eSel, _ := (Exact{Kind: MutualWeight}).Solve(p, nil)
+	gSel, _ := (Greedy{Kind: MutualWeight}).Solve(p, nil)
+	if math.Abs(p.Evaluate(eSel).TotalMutual-p.Evaluate(gSel).TotalMutual) > 1e-9 {
+		t.Fatal("tie-degenerate instance: greedy and exact disagree")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestAnnealingFeasible(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		p := smallProblem(t, seed)
+		sel, err := (SimulatedAnnealing{Kind: MutualWeight, Iters: 5000}).Solve(p, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Feasible(sel); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestAnnealingNeverWorseThanGreedy(t *testing.T) {
+	// Best-seen tracking guarantees the result is at least the greedy
+	// starting point.
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := smallProblem(t, seed)
+		gSel, _ := (Greedy{Kind: MutualWeight}).Solve(p, nil)
+		aSel, err := (SimulatedAnnealing{Kind: MutualWeight, Iters: 3000}).Solve(p, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := p.Evaluate(gSel).TotalMutual
+		a := p.Evaluate(aSel).TotalMutual
+		if a < g-1e-9 {
+			t.Fatalf("seed %d: annealing %v below greedy %v", seed, a, g)
+		}
+	}
+}
+
+func TestAnnealingBoundedByExact(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		p := smallProblem(t, seed)
+		eSel, _ := (Exact{Kind: MutualWeight}).Solve(p, nil)
+		aSel, _ := (SimulatedAnnealing{Kind: MutualWeight, Iters: 3000}).Solve(p, stats.NewRNG(seed))
+		if p.Evaluate(aSel).TotalMutual > p.Evaluate(eSel).TotalMutual+1e-6 {
+			t.Fatalf("seed %d: annealing beat exact on linear objective", seed)
+		}
+	}
+}
+
+func TestAnnealingDeterministicPerSeed(t *testing.T) {
+	p := smallProblem(t, 3)
+	a, _ := (SimulatedAnnealing{Kind: MutualWeight, Iters: 2000}).Solve(p, stats.NewRNG(9))
+	b, _ := (SimulatedAnnealing{Kind: MutualWeight, Iters: 2000}).Solve(p, stats.NewRNG(9))
+	if p.Evaluate(a).TotalMutual != p.Evaluate(b).TotalMutual {
+		t.Fatal("same-seed annealing runs differ")
+	}
+}
+
+func TestAnnealingNilRNGAndEmpty(t *testing.T) {
+	p := smallProblem(t, 4)
+	if _, err := (SimulatedAnnealing{Kind: MutualWeight, Iters: 100}).Solve(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	pe := MustNewProblem(emptyMarket(), p.Model.Params())
+	sel, err := (SimulatedAnnealing{}).Solve(pe, stats.NewRNG(1))
+	if err != nil || len(sel) != 0 {
+		t.Fatalf("empty market: sel=%v err=%v", sel, err)
+	}
+}
+
+func TestAnnealingEscapesGreedyTrap(t *testing.T) {
+	// The tight ½-approximation instance: one heavy edge blocking two
+	// medium edges.  Greedy takes 1.0; the optimum 0.9+0.9=1.8 requires
+	// abandoning the heavy edge — exactly what annealing's uphill moves
+	// (and local search's rotate) are for.
+	p := trapProblem(t)
+	gSel, _ := (Greedy{Kind: MutualWeight}).Solve(p, nil)
+	g := p.Evaluate(gSel).TotalMutual
+	aSel, err := (SimulatedAnnealing{Kind: MutualWeight, Iters: 20000, T0: 0.3}).Solve(p, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Evaluate(aSel).TotalMutual
+	if a <= g {
+		t.Fatalf("annealing (%v) failed to escape the greedy trap (%v)", a, g)
+	}
+}

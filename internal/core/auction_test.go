@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+func TestAuctionRequiresUnitCapacities(t *testing.T) {
+	in := market.MustGenerate(market.Config{
+		NumWorkers: 5, NumTasks: 5,
+		MinCapacity: 2, MaxCapacity: 2,
+	}, 1)
+	p := MustNewProblem(in, benefit.DefaultParams())
+	if _, err := (Auction{}).Solve(p, nil); err == nil {
+		t.Fatal("multi-capacity instance accepted")
+	}
+	in2 := market.MustGenerate(market.Config{
+		NumWorkers: 5, NumTasks: 5,
+		MinCapacity: 1, MaxCapacity: 1,
+		MinReplication: 2, MaxReplication: 2,
+	}, 1)
+	p2 := MustNewProblem(in2, benefit.DefaultParams())
+	if _, err := (Auction{}).Solve(p2, nil); err == nil {
+		t.Fatal("multi-replication instance accepted")
+	}
+}
+
+func TestAuctionNearOptimal(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		p := unitProblem(t, seed)
+		aSel, err := (Auction{Epsilon: 1e-5}).Solve(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Feasible(aSel); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eSel, _ := (Exact{Kind: MutualWeight}).Solve(p, nil)
+		opt := p.Evaluate(eSel).TotalMutual
+		got := p.Evaluate(aSel).TotalMutual
+		// ε-optimality: within n·ε of the optimum.
+		slack := float64(p.In.NumWorkers()) * 1e-5
+		if got < opt-slack-1e-9 {
+			t.Fatalf("seed %d: auction %v below opt %v − slack %v", seed, got, opt, slack)
+		}
+	}
+}
+
+func TestAuctionDefaultEpsilon(t *testing.T) {
+	p := unitProblem(t, 99)
+	sel, err := (Auction{}).Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Feasible(sel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuctionEmptyMarket(t *testing.T) {
+	p := MustNewProblem(emptyMarket(), benefit.DefaultParams())
+	sel, err := (Auction{}).Solve(p, stats.NewRNG(1))
+	if err != nil || len(sel) != 0 {
+		t.Fatalf("sel=%v err=%v", sel, err)
+	}
+}

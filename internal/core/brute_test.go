@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+)
+
+// tinySubmodularProblem builds instances small enough for brute force.
+func tinySubmodularProblem(t testing.TB, seed uint64) *Problem {
+	t.Helper()
+	in := market.MustGenerate(market.Config{
+		NumWorkers: 4, NumTasks: 3, NumCategories: 2,
+		MinSpecialties: 1, MaxSpecialties: 2,
+		MinCapacity: 1, MaxCapacity: 2,
+		MinReplication: 1, MaxReplication: 3,
+	}, seed)
+	return MustNewProblem(in, benefit.DefaultParams())
+}
+
+func TestBruteForceSubmodularFeasible(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := tinySubmodularProblem(t, seed)
+		if len(p.Edges) > 22 {
+			continue
+		}
+		best, sel := p.BruteForceSubmodular()
+		if err := p.Feasible(sel); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v := p.SubmodularValue(sel); v != best {
+			t.Fatalf("seed %d: reported %v, recomputed %v", seed, best, v)
+		}
+	}
+}
+
+func TestSubmodularGreedyMeasuredRatio(t *testing.T) {
+	// The paper-level question: how close does the ½-guaranteed greedy get
+	// to the true MBA-S optimum in practice?  Expect far above the bound.
+	var greedySum, optSum float64
+	checked := 0
+	for seed := uint64(1); seed <= 30 && checked < 15; seed++ {
+		p := tinySubmodularProblem(t, seed)
+		if len(p.Edges) > 18 {
+			continue
+		}
+		checked++
+		opt, _ := p.BruteForceSubmodular()
+		sel, err := (SubmodularGreedy{}).Solve(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := p.SubmodularValue(sel)
+		if g > opt+1e-9 {
+			t.Fatalf("seed %d: greedy %v beat brute-force optimum %v", seed, g, opt)
+		}
+		if opt > 0 && g < opt/2-1e-9 {
+			t.Fatalf("seed %d: greedy %v broke its 1/2 guarantee vs %v", seed, g, opt)
+		}
+		greedySum += g
+		optSum += opt
+	}
+	if checked < 5 {
+		t.Fatal("not enough small instances to measure")
+	}
+	if ratio := greedySum / optSum; ratio < 0.9 {
+		t.Fatalf("measured mean ratio %v — far below typical submodular-greedy practice", ratio)
+	}
+}
+
+func TestBruteForceSubmodularPanicsOnLarge(t *testing.T) {
+	p := smallProblem(t, 1) // hundreds of edges
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on large instance")
+		}
+	}()
+	p.BruteForceSubmodular()
+}
+
+func TestBruteForceEmptyProblem(t *testing.T) {
+	p := MustNewProblem(emptyMarket(), benefit.DefaultParams())
+	best, sel := p.BruteForceSubmodular()
+	if best != 0 || len(sel) != 0 {
+		t.Fatalf("empty: %v %v", best, sel)
+	}
+}

@@ -1,0 +1,233 @@
+// Package core implements the paper's primary contribution: mutual-benefit
+// aware task assignment in a bipartite labor market.
+//
+// A Problem couples a market.Instance with a benefit.Model and materialises
+// the eligible worker-task edges (the bipartite structure).  Solvers consume
+// a Problem and return a feasible assignment — a subset of edge indices that
+// respects every worker's capacity and every task's replication limit.
+// The package ships:
+//
+//   - Exact: the polynomial-time optimum of the linear objective (MBA-L) via
+//     a min-cost max-flow reduction;
+//   - Greedy / LocalSearch: fast approximations with a ½ guarantee from the
+//     matroid-intersection structure;
+//   - SubmodularGreedy: the lazy marginal-gain greedy for the
+//     diminishing-returns objective (MBA-S) built on the majority-vote
+//     quality oracle;
+//   - OnlineGreedy / OnlineRanking / OnlineTwoPhase: irrevocable assignment
+//     under random-order worker arrival (MBA-ON);
+//   - the baselines the paper's family compares against: quality-only,
+//     worker-only, random and round-robin assignment.
+//
+// All solvers validate nothing at runtime beyond their own needs; use
+// Problem.Feasible to check a returned assignment and Problem.Evaluate to
+// score it.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/benefit"
+	"repro/internal/bipartite"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+// WeightKind selects which per-edge value an algorithm optimises.  The
+// baselines differ from the mutual-benefit algorithms only in this choice.
+type WeightKind int
+
+const (
+	// MutualWeight optimises the combined benefit µ — the paper's proposal.
+	MutualWeight WeightKind = iota
+	// QualityWeight optimises the requester side alone — what prior
+	// assignment work does.
+	QualityWeight
+	// WorkerWeight optimises the worker side alone.
+	WorkerWeight
+)
+
+// String names the weight kind for reports.
+func (k WeightKind) String() string {
+	switch k {
+	case MutualWeight:
+		return "mutual"
+	case QualityWeight:
+		return "quality"
+	case WorkerWeight:
+		return "worker"
+	default:
+		return fmt.Sprintf("weight(%d)", int(k))
+	}
+}
+
+// EdgeInfo is one eligible worker-task pair with its three benefit values
+// precomputed.  Precomputing keeps the hot loops of every solver free of
+// model calls.
+type EdgeInfo struct {
+	W, T    int     // worker and task indices in the instance
+	Q, B, M float64 // quality, worker utility, mutual benefit
+}
+
+// Weight returns the edge's value under kind.
+func (e *EdgeInfo) Weight(kind WeightKind) float64 {
+	switch kind {
+	case MutualWeight:
+		return e.M
+	case QualityWeight:
+		return e.Q
+	case WorkerWeight:
+		return e.B
+	default:
+		panic("core: unknown weight kind")
+	}
+}
+
+// Problem is one assignment round: an instance, a benefit model, and the
+// materialised eligible edges.
+type Problem struct {
+	In    *market.Instance
+	Model *benefit.Model
+	Edges []EdgeInfo
+
+	adjW [][]int32 // adjW[w] = indices into Edges incident to worker w
+	adjT [][]int32 // adjT[t] = indices into Edges incident to task t
+}
+
+// NewProblem builds the Problem for an instance under params.  Edges are
+// enumerated in deterministic (worker, task) order: for each worker, the
+// tasks of each of its specialties in task-id order.
+func NewProblem(in *market.Instance, params benefit.Params) (*Problem, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := benefit.NewModel(in, params)
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{
+		In:    in,
+		Model: model,
+		adjW:  make([][]int32, in.NumWorkers()),
+		adjT:  make([][]int32, in.NumTasks()),
+	}
+	// Bucket tasks by category once.
+	tasksByCat := make([][]int, in.NumCategories)
+	for j := range in.Tasks {
+		c := in.Tasks[j].Category
+		tasksByCat[c] = append(tasksByCat[c], j)
+	}
+	p.Edges = make([]EdgeInfo, 0, in.NumEdges())
+	for wi := range in.Workers {
+		w := &in.Workers[wi]
+		// Specialties in ascending order gives ascending task ids per worker
+		// only within a category; sort the union for full determinism.
+		var taskIDs []int
+		for _, c := range w.Specialties {
+			taskIDs = append(taskIDs, tasksByCat[c]...)
+		}
+		sort.Ints(taskIDs)
+		for _, tj := range taskIDs {
+			t := &in.Tasks[tj]
+			e := EdgeInfo{
+				W: wi, T: tj,
+				Q: model.Quality(w, t),
+				B: model.WorkerUtility(w, t),
+			}
+			e.M = model.Combine(e.Q, e.B)
+			idx := int32(len(p.Edges))
+			p.Edges = append(p.Edges, e)
+			p.adjW[wi] = append(p.adjW[wi], idx)
+			p.adjT[tj] = append(p.adjT[tj], idx)
+		}
+	}
+	return p, nil
+}
+
+// MustNewProblem is NewProblem that panics on error, for tests, examples and
+// benchmarks with literal inputs.
+func MustNewProblem(in *market.Instance, params benefit.Params) *Problem {
+	p, err := NewProblem(in, params)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AdjW returns the edge indices incident to worker w (do not mutate).
+func (p *Problem) AdjW(w int) []int32 { return p.adjW[w] }
+
+// AdjT returns the edge indices incident to task t (do not mutate).
+func (p *Problem) AdjT(t int) []int32 { return p.adjT[t] }
+
+// CapacityW returns a fresh slice of worker capacities.
+func (p *Problem) CapacityW() []int {
+	caps := make([]int, p.In.NumWorkers())
+	for i := range p.In.Workers {
+		caps[i] = p.In.Workers[i].Capacity
+	}
+	return caps
+}
+
+// CapacityT returns a fresh slice of task replication limits.
+func (p *Problem) CapacityT() []int {
+	caps := make([]int, p.In.NumTasks())
+	for j := range p.In.Tasks {
+		caps[j] = p.In.Tasks[j].Replication
+	}
+	return caps
+}
+
+// GraphFor builds the weighted bipartite graph of the problem under kind
+// (left = workers, right = tasks), preserving edge indices, for use with the
+// exact flow solver.
+func (p *Problem) GraphFor(kind WeightKind) *bipartite.Graph {
+	g := bipartite.NewGraph(p.In.NumWorkers(), p.In.NumTasks())
+	for i := range p.Edges {
+		e := &p.Edges[i]
+		g.AddEdge(e.W, e.T, e.Weight(kind))
+	}
+	return g
+}
+
+// Feasible verifies that sel (edge indices into p.Edges) is a valid
+// assignment: indices in range and distinct, no duplicate worker-task pair,
+// and both sides' degree constraints respected.  It returns nil or a
+// descriptive error for the first violation.
+func (p *Problem) Feasible(sel []int) error {
+	seen := make(map[int]bool, len(sel))
+	degW := make(map[int]int)
+	degT := make(map[int]int)
+	for _, ei := range sel {
+		if ei < 0 || ei >= len(p.Edges) {
+			return fmt.Errorf("core: edge index %d out of range", ei)
+		}
+		if seen[ei] {
+			return fmt.Errorf("core: edge %d selected twice", ei)
+		}
+		seen[ei] = true
+		e := &p.Edges[ei]
+		degW[e.W]++
+		degT[e.T]++
+		if degW[e.W] > p.In.Workers[e.W].Capacity {
+			return fmt.Errorf("core: worker %d over capacity %d", e.W, p.In.Workers[e.W].Capacity)
+		}
+		if degT[e.T] > p.In.Tasks[e.T].Replication {
+			return fmt.Errorf("core: task %d over replication %d", e.T, p.In.Tasks[e.T].Replication)
+		}
+	}
+	// Duplicate worker-task pairs can only arise from duplicate edges in
+	// Edges, which NewProblem never creates; the distinct-index check above
+	// therefore already excludes them.
+	return nil
+}
+
+// Solver is the interface every assignment algorithm implements.  Solve
+// returns edge indices into p.Edges.  Deterministic solvers ignore r;
+// randomised and online ones draw arrival orders and tie-breaks from it, so
+// the caller controls reproducibility.
+type Solver interface {
+	Name() string
+	Solve(p *Problem, r *stats.RNG) ([]int, error)
+}

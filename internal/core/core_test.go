@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+// smallProblem returns a moderate random problem for algorithm tests.
+func smallProblem(t testing.TB, seed uint64) *Problem {
+	t.Helper()
+	in := market.MustGenerate(market.Config{NumWorkers: 30, NumTasks: 30}, seed)
+	return MustNewProblem(in, benefit.DefaultParams())
+}
+
+// unitProblem returns a unit-capacity problem (plain matching shape).
+func unitProblem(t testing.TB, seed uint64) *Problem {
+	t.Helper()
+	in := market.MustGenerate(market.Config{
+		NumWorkers: 25, NumTasks: 25,
+		MinCapacity: 1, MaxCapacity: 1,
+		MinReplication: 1, MaxReplication: 1,
+	}, seed)
+	return MustNewProblem(in, benefit.DefaultParams())
+}
+
+func TestNewProblemEdgeEnumeration(t *testing.T) {
+	in := market.MustGenerate(market.Config{NumWorkers: 10, NumTasks: 20}, 1)
+	p := MustNewProblem(in, benefit.DefaultParams())
+	if len(p.Edges) != in.NumEdges() {
+		t.Fatalf("edges %d, instance says %d", len(p.Edges), in.NumEdges())
+	}
+	// Every edge must be an eligible (specialty-matching) pair with benefit
+	// values agreeing with the model.
+	for i := range p.Edges {
+		e := &p.Edges[i]
+		w := &in.Workers[e.W]
+		task := &in.Tasks[e.T]
+		if !w.AcceptsCategory(task.Category) {
+			t.Fatalf("edge %d pairs worker %d with foreign category task %d", i, e.W, e.T)
+		}
+		if e.Q != p.Model.Quality(w, task) || e.B != p.Model.WorkerUtility(w, task) {
+			t.Fatalf("edge %d cached values disagree with model", i)
+		}
+		if math.Abs(e.M-p.Model.Combine(e.Q, e.B)) > 1e-15 {
+			t.Fatalf("edge %d mutual value stale", i)
+		}
+	}
+	// No duplicate pairs.
+	seen := map[[2]int]bool{}
+	for i := range p.Edges {
+		key := [2]int{p.Edges[i].W, p.Edges[i].T}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestNewProblemAdjacencyConsistent(t *testing.T) {
+	p := smallProblem(t, 2)
+	countAdj := 0
+	for w := 0; w < p.In.NumWorkers(); w++ {
+		for _, ei := range p.AdjW(w) {
+			if p.Edges[ei].W != w {
+				t.Fatal("AdjW holds foreign edge")
+			}
+			countAdj++
+		}
+	}
+	if countAdj != len(p.Edges) {
+		t.Fatalf("worker adjacency covers %d of %d edges", countAdj, len(p.Edges))
+	}
+	countAdj = 0
+	for tj := 0; tj < p.In.NumTasks(); tj++ {
+		for _, ei := range p.AdjT(tj) {
+			if p.Edges[ei].T != tj {
+				t.Fatal("AdjT holds foreign edge")
+			}
+			countAdj++
+		}
+	}
+	if countAdj != len(p.Edges) {
+		t.Fatalf("task adjacency covers %d of %d edges", countAdj, len(p.Edges))
+	}
+}
+
+func TestNewProblemRejectsInvalid(t *testing.T) {
+	in := market.MustGenerate(market.Config{NumWorkers: 5, NumTasks: 5}, 3)
+	if _, err := NewProblem(in, benefit.Params{Lambda: 2}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	in.Workers[0].Capacity = -1
+	if _, err := NewProblem(in, benefit.DefaultParams()); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestFeasibleCatchesViolations(t *testing.T) {
+	p := smallProblem(t, 4)
+	if err := p.Feasible(nil); err != nil {
+		t.Fatalf("empty assignment infeasible: %v", err)
+	}
+	if err := p.Feasible([]int{-1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := p.Feasible([]int{len(p.Edges)}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := p.Feasible([]int{0, 0}); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	// Overflow worker 0's capacity by brute force: gather more of its edges
+	// than capacity.
+	w := p.Edges[0].W
+	cap0 := p.In.Workers[w].Capacity
+	var mine []int
+	for _, ei := range p.AdjW(w) {
+		mine = append(mine, int(ei))
+	}
+	if len(mine) > cap0 {
+		if err := p.Feasible(mine); err == nil {
+			t.Fatal("worker capacity violation accepted")
+		}
+	}
+}
+
+func TestEvaluateTotals(t *testing.T) {
+	p := smallProblem(t, 5)
+	sel := []int{0, 1}
+	m := p.Evaluate(sel)
+	wantMutual := p.Edges[0].M + p.Edges[1].M
+	if math.Abs(m.TotalMutual-wantMutual) > 1e-12 {
+		t.Fatalf("mutual %v want %v", m.TotalMutual, wantMutual)
+	}
+	if m.Pairs != 2 {
+		t.Fatalf("pairs = %d", m.Pairs)
+	}
+	if m.SlotCoverage <= 0 || m.SlotCoverage > 1 {
+		t.Fatalf("coverage = %v", m.SlotCoverage)
+	}
+}
+
+func TestEvaluateEmptyAssignment(t *testing.T) {
+	p := smallProblem(t, 6)
+	m := p.Evaluate(nil)
+	if m.Pairs != 0 || m.TotalMutual != 0 || m.ActiveWorkers != 0 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+	if m.WorkerJain != 1 {
+		t.Fatalf("empty Jain = %v (all-zero benefit is vacuously fair)", m.WorkerJain)
+	}
+}
+
+func TestPerWorkerBenefit(t *testing.T) {
+	p := smallProblem(t, 7)
+	sel := []int{0}
+	per := p.PerWorkerBenefit(sel)
+	if len(per) != p.In.NumWorkers() {
+		t.Fatal("length mismatch")
+	}
+	e := &p.Edges[0]
+	if per[e.W] != e.B {
+		t.Fatalf("worker %d benefit %v want %v", e.W, per[e.W], e.B)
+	}
+	sum := 0.0
+	for _, b := range per {
+		sum += b
+	}
+	if math.Abs(sum-e.B) > 1e-12 {
+		t.Fatal("other workers should have zero")
+	}
+}
+
+func TestRunValidatesAndTimes(t *testing.T) {
+	p := smallProblem(t, 8)
+	r := stats.NewRNG(1)
+	sel, m, err := Run(p, Greedy{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Feasible(sel); err != nil {
+		t.Fatal(err)
+	}
+	if m.Algorithm != "greedy" {
+		t.Fatalf("algorithm name %q", m.Algorithm)
+	}
+	if m.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+	if m.String() == "" {
+		t.Fatal("empty metrics string")
+	}
+}
+
+type badSolver struct{}
+
+func (badSolver) Name() string { return "bad" }
+func (badSolver) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
+	// Return the same edge twice: infeasible.
+	if len(p.Edges) == 0 {
+		return nil, nil
+	}
+	return []int{0, 0}, nil
+}
+
+func TestRunRejectsInfeasibleSolver(t *testing.T) {
+	p := smallProblem(t, 9)
+	if _, _, err := Run(p, badSolver{}, stats.NewRNG(1)); err == nil {
+		t.Fatal("infeasible solver result accepted")
+	}
+}
+
+func TestWeightKindString(t *testing.T) {
+	if MutualWeight.String() != "mutual" || QualityWeight.String() != "quality" ||
+		WorkerWeight.String() != "worker" {
+		t.Fatal("weight kind names wrong")
+	}
+	if WeightKind(9).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestEdgeWeightSelector(t *testing.T) {
+	e := EdgeInfo{Q: 0.1, B: 0.2, M: 0.3}
+	if e.Weight(QualityWeight) != 0.1 || e.Weight(WorkerWeight) != 0.2 || e.Weight(MutualWeight) != 0.3 {
+		t.Fatal("weight selector wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	e.Weight(WeightKind(9))
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/stats"
+)
+
+// Exact computes the optimal assignment for the linear objective under its
+// weight kind by reduction to maximum-weight b-matching (min-cost max-flow,
+// see internal/bipartite).  It is polynomial but super-linear in practice —
+// the runtime experiment (R-Fig9) quantifies exactly where it stops being
+// usable and Greedy takes over.
+type Exact struct {
+	// Kind selects the optimised value; MutualWeight is the paper's
+	// algorithm, QualityWeight the strongest classical baseline.
+	Kind WeightKind
+}
+
+// Name implements Solver.
+func (s Exact) Name() string {
+	if s.Kind == MutualWeight {
+		return "exact"
+	}
+	return "exact-" + s.Kind.String()
+}
+
+// Solve implements Solver.  The RNG is unused: the optimum is deterministic.
+func (s Exact) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
+	g := p.GraphFor(s.Kind)
+	m := bipartite.MaxWeightBMatching(g, p.CapacityW(), p.CapacityT())
+	return m.EdgeIdx, nil
+}

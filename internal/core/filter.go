@@ -1,0 +1,37 @@
+package core
+
+// FilterProblem derives a sub-problem containing only the edges that pass
+// keep.  The instance and benefit model are shared; edge values are copied,
+// so edge indices of the filtered problem do NOT correspond to indices of
+// the original — treat the result as a problem in its own right.
+//
+// The canonical use is a per-pair quality floor (quality SLA): requesters
+// on real platforms often refuse workers below a competence bar regardless
+// of how cheap or willing they are.  MinQuality builds that filter; the
+// SLA ablation (X-Abl6) sweeps it and measures what the bar costs in
+// coverage and worker-side benefit.
+func FilterProblem(p *Problem, keep func(e *EdgeInfo) bool) *Problem {
+	out := &Problem{
+		In:    p.In,
+		Model: p.Model,
+		adjW:  make([][]int32, p.In.NumWorkers()),
+		adjT:  make([][]int32, p.In.NumTasks()),
+	}
+	for i := range p.Edges {
+		e := &p.Edges[i]
+		if !keep(e) {
+			continue
+		}
+		idx := int32(len(out.Edges))
+		out.Edges = append(out.Edges, *e)
+		out.adjW[e.W] = append(out.adjW[e.W], idx)
+		out.adjT[e.T] = append(out.adjT[e.T], idx)
+	}
+	return out
+}
+
+// MinQuality returns a FilterProblem predicate keeping only pairs whose
+// requester-side quality is at least q.
+func MinQuality(q float64) func(e *EdgeInfo) bool {
+	return func(e *EdgeInfo) bool { return e.Q >= q }
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestFilterProblemStructure(t *testing.T) {
+	p := smallProblem(t, 51)
+	fp := FilterProblem(p, MinQuality(0.5))
+	if len(fp.Edges) >= len(p.Edges) {
+		t.Fatalf("filter removed nothing: %d vs %d", len(fp.Edges), len(p.Edges))
+	}
+	for i := range fp.Edges {
+		if fp.Edges[i].Q < 0.5 {
+			t.Fatalf("edge %d below floor: %v", i, fp.Edges[i].Q)
+		}
+	}
+	// Adjacency must be consistent with the new indices.
+	count := 0
+	for w := 0; w < fp.In.NumWorkers(); w++ {
+		for _, ei := range fp.AdjW(w) {
+			if fp.Edges[ei].W != w {
+				t.Fatal("filtered adjacency broken")
+			}
+			count++
+		}
+	}
+	if count != len(fp.Edges) {
+		t.Fatalf("adjacency covers %d of %d edges", count, len(fp.Edges))
+	}
+}
+
+func TestFilterProblemSolvable(t *testing.T) {
+	p := smallProblem(t, 52)
+	fp := FilterProblem(p, MinQuality(0.4))
+	for _, s := range []Solver{Exact{Kind: MutualWeight}, Greedy{Kind: MutualWeight}, StableMatching{}} {
+		sel, err := s.Solve(fp, stats.NewRNG(1))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := fp.Feasible(sel); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for _, ei := range sel {
+			if fp.Edges[ei].Q < 0.4 {
+				t.Fatalf("%s assigned a below-floor pair", s.Name())
+			}
+		}
+	}
+}
+
+func TestFilterProblemTradesCoverageForQuality(t *testing.T) {
+	p := smallProblem(t, 53)
+	baseSel, _ := (Exact{Kind: MutualWeight}).Solve(p, nil)
+	base := p.Evaluate(baseSel)
+
+	fp := FilterProblem(p, MinQuality(0.7))
+	fSel, _ := (Exact{Kind: MutualWeight}).Solve(fp, nil)
+	filtered := fp.Evaluate(fSel)
+
+	if filtered.Pairs > base.Pairs {
+		t.Fatalf("SLA increased coverage: %d > %d", filtered.Pairs, base.Pairs)
+	}
+	if filtered.Pairs > 0 && filtered.TotalQuality/float64(filtered.Pairs) <= base.TotalQuality/float64(base.Pairs) {
+		t.Fatalf("SLA did not raise mean quality: %v vs %v",
+			filtered.TotalQuality/float64(filtered.Pairs), base.TotalQuality/float64(base.Pairs))
+	}
+}
+
+func TestFilterProblemKeepAllIsIdentityValued(t *testing.T) {
+	p := smallProblem(t, 54)
+	fp := FilterProblem(p, func(*EdgeInfo) bool { return true })
+	a, _ := (Greedy{Kind: MutualWeight}).Solve(p, nil)
+	b, _ := (Greedy{Kind: MutualWeight}).Solve(fp, nil)
+	if p.Evaluate(a).TotalMutual != fp.Evaluate(b).TotalMutual {
+		t.Fatal("keep-all filter changed the solution value")
+	}
+}
+
+func TestFilterProblemEmptyResult(t *testing.T) {
+	p := smallProblem(t, 55)
+	fp := FilterProblem(p, MinQuality(2)) // impossible bar
+	if len(fp.Edges) != 0 {
+		t.Fatal("impossible bar kept edges")
+	}
+	sel, err := (Greedy{Kind: MutualWeight}).Solve(fp, nil)
+	if err != nil || len(sel) != 0 {
+		t.Fatalf("sel=%v err=%v", sel, err)
+	}
+}
+
+func TestOnlineTaskGreedy(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		p := smallProblem(t, seed)
+		sel, err := (OnlineTaskGreedy{Kind: MutualWeight}).Solve(p, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Feasible(sel); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eSel, _ := (Exact{Kind: MutualWeight}).Solve(p, nil)
+		if p.Evaluate(sel).TotalMutual > p.Evaluate(eSel).TotalMutual+1e-6 {
+			t.Fatal("task-greedy beat offline optimum")
+		}
+	}
+}

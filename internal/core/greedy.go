@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Greedy is the global edge-greedy algorithm: consider edges in decreasing
+// weight order and take every edge whose endpoints still have capacity.
+//
+// The feasible assignments form the intersection of two partition matroids
+// (worker capacities, task replications), so this greedy is a classical
+// ½-approximation of the optimum — and in practice it lands within a few
+// percent (R-Fig10).  Runtime is O(E log E) for the sort plus a linear scan,
+// which is what makes it the only viable algorithm at millions of edges
+// (R-Fig9).
+type Greedy struct {
+	Kind WeightKind
+}
+
+// Name implements Solver.
+func (s Greedy) Name() string {
+	switch {
+	case s.Kind == QualityWeight:
+		return "quality-only"
+	case s.Kind == WorkerWeight:
+		return "worker-only"
+	default:
+		return "greedy"
+	}
+}
+
+// Solve implements Solver.  Ties are broken by edge index, so the result is
+// deterministic; the RNG is unused.
+func (s Greedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
+	order := make([]int, len(p.Edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa := p.Edges[order[a]].Weight(s.Kind)
+		wb := p.Edges[order[b]].Weight(s.Kind)
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	capW := p.CapacityW()
+	capT := p.CapacityT()
+	sel := make([]int, 0, minInt(p.In.TotalSlots(), p.In.TotalCapacity()))
+	for _, ei := range order {
+		e := &p.Edges[ei]
+		if capW[e.W] > 0 && capT[e.T] > 0 {
+			capW[e.W]--
+			capT[e.T]--
+			sel = append(sel, ei)
+		}
+	}
+	return sel, nil
+}
+
+// QualityOnly is the strongest classical baseline: greedy assignment by
+// requester-side quality alone, ignoring what workers get out of it.
+func QualityOnly() Solver { return Greedy{Kind: QualityWeight} }
+
+// WorkerOnly is the opposite baseline: greedy by worker utility alone.
+func WorkerOnly() Solver { return Greedy{Kind: WorkerWeight} }
+
+// Random assigns by scanning a uniformly shuffled edge order and taking
+// whatever fits.  It is the sanity floor of every comparison plot.
+type Random struct{}
+
+// Name implements Solver.
+func (Random) Name() string { return "random" }
+
+// Solve implements Solver.
+func (Random) Solve(p *Problem, r *stats.RNG) ([]int, error) {
+	order := r.Perm(len(p.Edges))
+	capW := p.CapacityW()
+	capT := p.CapacityT()
+	var sel []int
+	for _, ei := range order {
+		e := &p.Edges[ei]
+		if capW[e.W] > 0 && capT[e.T] > 0 {
+			capW[e.W]--
+			capT[e.T]--
+			sel = append(sel, ei)
+		}
+	}
+	return sel, nil
+}
+
+// RoundRobin iterates tasks in id order and hands each open slot to the next
+// eligible worker in a rotating cursor — the "fair dispatcher" many real
+// platforms actually run, and a second sanity baseline.
+type RoundRobin struct{}
+
+// Name implements Solver.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Solve implements Solver.  Deterministic; the RNG is unused.
+func (RoundRobin) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
+	capW := p.CapacityW()
+	capT := p.CapacityT()
+	chosen := make([]bool, len(p.Edges))
+	var sel []int
+	// cursor[t] rotates over AdjT(t) so repeated slots of the same task go
+	// to different workers; the chosen guard prevents re-taking an edge when
+	// the cursor wraps around.
+	progress := true
+	cursor := make([]int, p.In.NumTasks())
+	for progress {
+		progress = false
+		for t := 0; t < p.In.NumTasks(); t++ {
+			if capT[t] == 0 {
+				continue
+			}
+			adj := p.AdjT(t)
+			for n := 0; n < len(adj); n++ {
+				ei := int(adj[cursor[t]%len(adj)])
+				cursor[t]++
+				e := &p.Edges[ei]
+				if !chosen[ei] && capW[e.W] > 0 {
+					chosen[ei] = true
+					capW[e.W]--
+					capT[t]--
+					sel = append(sel, ei)
+					progress = true
+					break
+				}
+			}
+		}
+	}
+	return sel, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

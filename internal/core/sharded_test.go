@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+func TestShardedGreedyFeasible(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		p := smallProblem(t, seed)
+		for _, shards := range []int{0, 1, 2, 7} {
+			sel, err := (ShardedGreedy{Kind: MutualWeight, Shards: shards}).Solve(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Feasible(sel); err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+		}
+	}
+}
+
+func TestShardedGreedyTracksGreedy(t *testing.T) {
+	// Reconciliation should keep sharded within a few percent of the
+	// sequential greedy across seeds (aggregate comparison).
+	var sharded, greedy float64
+	for seed := uint64(1); seed <= 10; seed++ {
+		in := market.MustGenerate(market.FreelanceTraceConfig(150, 100), seed)
+		p := MustNewProblem(in, benefit.DefaultParams())
+		sSel, err := (ShardedGreedy{Kind: MutualWeight, Shards: 4}).Solve(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gSel, _ := (Greedy{Kind: MutualWeight}).Solve(p, nil)
+		sharded += p.Evaluate(sSel).TotalMutual
+		greedy += p.Evaluate(gSel).TotalMutual
+	}
+	if sharded < 0.97*greedy {
+		t.Fatalf("sharded %v fell more than 3%% below greedy %v", sharded, greedy)
+	}
+}
+
+func TestShardedGreedySingleShardMatchesGreedy(t *testing.T) {
+	// With one shard the algorithm degenerates to plain greedy exactly.
+	p := smallProblem(t, 5)
+	sSel, _ := (ShardedGreedy{Kind: MutualWeight, Shards: 1}).Solve(p, nil)
+	gSel, _ := (Greedy{Kind: MutualWeight}).Solve(p, nil)
+	if p.Evaluate(sSel).TotalMutual != p.Evaluate(gSel).TotalMutual {
+		t.Fatalf("single-shard %v != greedy %v",
+			p.Evaluate(sSel).TotalMutual, p.Evaluate(gSel).TotalMutual)
+	}
+}
+
+func TestShardedGreedyDeterministic(t *testing.T) {
+	p := smallProblem(t, 6)
+	a, _ := (ShardedGreedy{Kind: MutualWeight, Shards: 4}).Solve(p, stats.NewRNG(1))
+	b, _ := (ShardedGreedy{Kind: MutualWeight, Shards: 4}).Solve(p, stats.NewRNG(2))
+	if p.Evaluate(a).TotalMutual != p.Evaluate(b).TotalMutual || len(a) != len(b) {
+		t.Fatal("sharded greedy not deterministic across runs")
+	}
+}
+
+func TestShardedGreedyEmptyAndDegenerate(t *testing.T) {
+	pe := MustNewProblem(emptyMarket(), benefit.DefaultParams())
+	sel, err := (ShardedGreedy{}).Solve(pe, nil)
+	if err != nil || len(sel) != 0 {
+		t.Fatalf("empty: sel=%v err=%v", sel, err)
+	}
+	// More shards than tasks must clamp rather than fail.
+	in := market.MustGenerate(market.Config{NumWorkers: 10, NumTasks: 3}, 1)
+	p := MustNewProblem(in, benefit.DefaultParams())
+	sel, err = (ShardedGreedy{Kind: MutualWeight, Shards: 64}).Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Feasible(sel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedGreedyMaximal(t *testing.T) {
+	// The fill pass guarantees no assignable pair is left on the table.
+	p := smallProblem(t, 7)
+	sel, _ := (ShardedGreedy{Kind: MutualWeight, Shards: 4}).Solve(p, nil)
+	capW := p.CapacityW()
+	capT := p.CapacityT()
+	taken := map[int]bool{}
+	for _, ei := range sel {
+		taken[ei] = true
+		capW[p.Edges[ei].W]--
+		capT[p.Edges[ei].T]--
+	}
+	for ei := range p.Edges {
+		if !taken[ei] && capW[p.Edges[ei].W] > 0 && capT[p.Edges[ei].T] > 0 {
+			t.Fatalf("edge %d assignable but unassigned", ei)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dynamics
+
+import (
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/market"
+)
+
+func baseConfig(solver core.Solver) Config {
+	return Config{
+		Rounds:        10,
+		Market:        market.Config{NumWorkers: 60, NumTasks: 40},
+		Params:        benefit.DefaultParams(),
+		Solver:        solver,
+		TasksPerRound: 40,
+	}
+}
+
+func TestSimulateBasicShape(t *testing.T) {
+	rep, err := Simulate(baseConfig(core.Greedy{Kind: core.MutualWeight}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 10 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+	if rep.Rounds[0].Active != 60 || rep.Rounds[0].Participation != 1 {
+		t.Fatalf("round 0 = %+v", rep.Rounds[0])
+	}
+	for i, rr := range rep.Rounds {
+		if rr.Round != i {
+			t.Fatalf("round numbering wrong at %d", i)
+		}
+		if rr.Participation < 0 || rr.Participation > 1 {
+			t.Fatalf("participation %v", rr.Participation)
+		}
+	}
+	if rep.FinalParticipation < 0 || rep.FinalParticipation > 1 {
+		t.Fatalf("final participation %v", rep.FinalParticipation)
+	}
+	if rep.TotalMutual <= 0 {
+		t.Fatal("no benefit accumulated")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(baseConfig(core.Greedy{Kind: core.MutualWeight}), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(baseConfig(core.Greedy{Kind: core.MutualWeight}), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalParticipation != b.FinalParticipation || a.TotalMutual != b.TotalMutual {
+		t.Fatal("same-seed simulations diverged")
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i].Active != b.Rounds[i].Active {
+			t.Fatalf("round %d active differs", i)
+		}
+	}
+}
+
+func TestSimulateParticipationMonotoneDecline(t *testing.T) {
+	// No return mechanism exists, so active counts never increase.
+	rep, err := Simulate(baseConfig(core.QualityOnly()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Rounds); i++ {
+		if rep.Rounds[i].Active > rep.Rounds[i-1].Active {
+			t.Fatalf("active grew: %d → %d", rep.Rounds[i-1].Active, rep.Rounds[i].Active)
+		}
+	}
+}
+
+func TestMutualBenefitRetainsMoreWorkersThanQualityOnly(t *testing.T) {
+	// The paper's headline behavioural claim, averaged over seeds: mutual
+	// benefit assignment keeps more of the workforce than quality-only.
+	var mutual, quality float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfgM := baseConfig(core.Greedy{Kind: core.MutualWeight})
+		cfgM.Rounds = 15
+		repM, err := Simulate(cfgM, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgQ := baseConfig(core.QualityOnly())
+		cfgQ.Rounds = 15
+		repQ, err := Simulate(cfgQ, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutual += repM.FinalParticipation
+		quality += repQ.FinalParticipation
+	}
+	if mutual <= quality {
+		t.Fatalf("mutual retention %v did not beat quality-only %v", mutual, quality)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := baseConfig(core.Greedy{})
+	cfg.Rounds = 0
+	if _, err := Simulate(cfg, 1); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	cfg = baseConfig(nil)
+	if _, err := Simulate(cfg, 1); err == nil {
+		t.Fatal("nil solver accepted")
+	}
+}
+
+func TestSimulateWithOnlineSolver(t *testing.T) {
+	rep, err := Simulate(baseConfig(core.OnlineGreedy{Kind: core.MutualWeight}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 10 {
+		t.Fatal("online solver simulation incomplete")
+	}
+}
+
+func TestDropoutRespondsToStarvation(t *testing.T) {
+	// A market with far more workers than work starves most of them; with
+	// aggressive dropout settings, participation must fall visibly.
+	cfg := baseConfig(core.Greedy{Kind: core.MutualWeight})
+	cfg.Market = market.Config{NumWorkers: 100, NumTasks: 5}
+	cfg.TasksPerRound = 5
+	cfg.Rounds = 12
+	cfg.MaxDropProb = 0.5
+	rep, err := Simulate(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalParticipation > 0.7 {
+		t.Fatalf("starved market kept %v of workers", rep.FinalParticipation)
+	}
+}

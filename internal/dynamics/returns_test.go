@@ -1,0 +1,85 @@
+package dynamics
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestReturnsDisabledByDefault(t *testing.T) {
+	rep, err := Simulate(baseConfig(core.Greedy{Kind: core.MutualWeight}), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range rep.Rounds {
+		if rr.Returns != 0 {
+			t.Fatalf("round %d reported returns without ReturnProb", rr.Round)
+		}
+	}
+}
+
+func TestReturnsRefillTheMarket(t *testing.T) {
+	// With aggressive dropout and a return channel, some workers must come
+	// back across a long run.
+	cfg := baseConfig(core.Greedy{Kind: core.MutualWeight})
+	cfg.Rounds = 20
+	cfg.MaxDropProb = 0.5
+	cfg.ReturnProb = 0.3
+	rep, err := Simulate(cfg, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalReturns := 0
+	for _, rr := range rep.Rounds {
+		totalReturns += rr.Returns
+		if rr.Participation < 0 || rr.Participation > 1 {
+			t.Fatalf("round %d participation %v", rr.Round, rr.Participation)
+		}
+	}
+	if totalReturns == 0 {
+		t.Fatal("no worker ever returned despite ReturnProb")
+	}
+}
+
+func TestReturnsRaiseSteadyStateParticipation(t *testing.T) {
+	noReturn := baseConfig(core.Greedy{Kind: core.MutualWeight})
+	noReturn.Rounds = 20
+	repA, err := Simulate(noReturn, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withReturn := noReturn
+	withReturn.ReturnProb = 0.25
+	repB, err := Simulate(withReturn, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.FinalParticipation <= repA.FinalParticipation {
+		t.Fatalf("returns did not raise participation: %v vs %v",
+			repB.FinalParticipation, repA.FinalParticipation)
+	}
+}
+
+func TestReturnsParticipationCanRecover(t *testing.T) {
+	// With returns enabled, the monotone-decline invariant of the default
+	// model no longer holds — participation must rise at least once in a
+	// long, churny run.
+	cfg := baseConfig(core.Greedy{Kind: core.MutualWeight})
+	cfg.Rounds = 25
+	cfg.MaxDropProb = 0.5
+	cfg.ReturnProb = 0.4
+	rep, err := Simulate(cfg, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rose := false
+	for i := 1; i < len(rep.Rounds); i++ {
+		if rep.Rounds[i].Active > rep.Rounds[i-1].Active {
+			rose = true
+			break
+		}
+	}
+	if !rose {
+		t.Fatal("participation never recovered despite heavy returns")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// table accumulates aligned rows and flushes them via text/tabwriter, so
+// every experiment's output looks like the paper's tables.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+// newTable starts a table on w with the given column headers.
+func newTable(w io.Writer, headers ...string) *table {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	t := &table{tw: tw}
+	fmt.Fprintln(tw, strings.Join(headers, "\t"))
+	rule := make([]string, len(headers))
+	for i, h := range headers {
+		rule[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(rule, "\t"))
+	return t
+}
+
+// row appends one row; cells are formatted with %v unless already strings.
+func (t *table) row(cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			parts[i] = v
+		case float64:
+			parts[i] = fmt.Sprintf("%.4f", v)
+		default:
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	fmt.Fprintln(t.tw, strings.Join(parts, "\t"))
+}
+
+// flush renders the accumulated table.
+func (t *table) flush() error { return t.tw.Flush() }
+
+// f2 formats a float with two decimals (benefit totals).
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// f3 formats a float with three decimals (ratios, fairness).
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// pm formats mean ± half-CI.
+func pm(mean, ci float64) string { return fmt.Sprintf("%.2f±%.2f", mean, ci) }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	var buf bytes.Buffer
+	tab := newTable(&buf, "name", "value")
+	tab.row("alpha", 1.5)
+	tab.row("a-much-longer-name", 22)
+	if err := tab.flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	// Tabwriter alignment: the "value" column starts at the same offset in
+	// every line.
+	col := strings.Index(lines[0], "value")
+	if col < 0 {
+		t.Fatal("header lost")
+	}
+	if !strings.HasPrefix(lines[2][col:], "1.5") {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+}
+
+func TestTableFormatsFloats(t *testing.T) {
+	var buf bytes.Buffer
+	tab := newTable(&buf, "x")
+	tab.row(0.123456789)
+	tab.flush()
+	if !strings.Contains(buf.String(), "0.1235") {
+		t.Fatalf("float not rendered at 4 decimals:\n%s", buf.String())
+	}
+}
+
+func TestFormatterHelpers(t *testing.T) {
+	if f2(1.005) != "1.00" && f2(1.005) != "1.01" { // fp rounding either way
+		t.Fatalf("f2 = %q", f2(1.005))
+	}
+	if f3(0.1) != "0.100" {
+		t.Fatalf("f3 = %q", f3(0.1))
+	}
+	if got := pm(10.5, 0.25); got != "10.50±0.25" {
+		t.Fatalf("pm = %q", got)
+	}
+}
+
+func TestRunConfigHelpers(t *testing.T) {
+	full := RunConfig{Seed: 1}
+	quick := RunConfig{Seed: 1, Quick: true}
+	if full.pick(100, 10) != 100 || quick.pick(100, 10) != 10 {
+		t.Fatal("pick wrong")
+	}
+	if full.reps(3) != 3 {
+		t.Fatal("default reps wrong")
+	}
+	if (RunConfig{Reps: 7}).reps(3) != 7 {
+		t.Fatal("explicit reps ignored")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "R-Fig4",
+		Title: "total mutual benefit vs. number of tasks",
+		Expected: "all curves grow with task supply; exact ≥ local-search ≥ greedy > quality-only > " +
+			"random throughout; the mutual/quality-only gap widens as tasks (choice) grow",
+		Run: runFig4,
+	})
+	register(Experiment{
+		ID:    "R-Fig5",
+		Title: "total mutual benefit vs. number of workers",
+		Expected: "curves grow then saturate once worker capacity exceeds task slots; ordering as in " +
+			"R-Fig4",
+		Run: runFig5,
+	})
+}
+
+// scaleLineUp is the algorithm series plotted in the scale figures.
+func scaleLineUp() []core.Solver {
+	return []core.Solver{
+		core.Exact{Kind: core.MutualWeight},
+		core.LocalSearch{Kind: core.MutualWeight},
+		core.Greedy{Kind: core.MutualWeight},
+		core.QualityOnly(),
+		core.WorkerOnly(),
+		core.Random{},
+	}
+}
+
+// runScaleSweep renders one series table: rows = sweep values, columns =
+// algorithms, cells = mean TotalMutual over reps.
+func runScaleSweep(w io.Writer, cfg RunConfig, axis string, values []int, mk func(v int) market.Config) error {
+	reps := cfg.reps(3)
+	solvers := scaleLineUp()
+	headers := []string{axis}
+	for _, s := range solvers {
+		headers = append(headers, s.Name())
+	}
+	t := newTable(w, headers...)
+	for _, v := range values {
+		row := []interface{}{v}
+		for _, s := range solvers {
+			ms, err := repeatMetrics(mk(v), benefit.DefaultParams(), s, cfg.Seed, reps)
+			if err != nil {
+				return err
+			}
+			row = append(row, f2(stats.Mean(mutualValues(ms))))
+		}
+		t.row(row...)
+	}
+	return t.flush()
+}
+
+func runFig4(w io.Writer, cfg RunConfig) error {
+	var tasks []int
+	if cfg.Quick {
+		tasks = []int{40, 80, 120}
+	} else {
+		tasks = []int{200, 400, 800, 1200, 1600}
+	}
+	workers := cfg.pick(600, 80)
+	return runScaleSweep(w, cfg, "tasks", tasks, func(m int) market.Config {
+		return market.FreelanceTraceConfig(workers, m)
+	})
+}
+
+func runFig5(w io.Writer, cfg RunConfig) error {
+	var workers []int
+	if cfg.Quick {
+		workers = []int{40, 80, 120}
+	} else {
+		workers = []int{150, 300, 600, 1200, 2000}
+	}
+	tasks := cfg.pick(400, 60)
+	return runScaleSweep(w, cfg, "workers", workers, func(n int) market.Config {
+		return market.FreelanceTraceConfig(n, tasks)
+	})
+}

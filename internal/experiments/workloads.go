@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+// repeatMetrics runs solver on reps instances drawn from cfg with seeds
+// seed, seed+1, … and returns the per-rep metrics.  Each rep builds a fresh
+// instance so the confidence intervals reflect workload variance, exactly
+// like repeated trials in the paper's evaluation.
+func repeatMetrics(cfg market.Config, params benefit.Params, solver core.Solver, seed uint64, reps int) ([]core.Metrics, error) {
+	out := make([]core.Metrics, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		s := seed + uint64(rep)
+		in, err := market.Generate(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewProblem(in, params)
+		if err != nil {
+			return nil, err
+		}
+		_, m, err := core.Run(p, solver, stats.NewRNG(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// meanMetrics averages the numeric fields of ms.
+func meanMetrics(ms []core.Metrics) core.Metrics {
+	if len(ms) == 0 {
+		return core.Metrics{}
+	}
+	var avg core.Metrics
+	avg.Algorithm = ms[0].Algorithm
+	n := float64(len(ms))
+	for _, m := range ms {
+		avg.Pairs += m.Pairs
+		avg.TotalMutual += m.TotalMutual
+		avg.TotalQuality += m.TotalQuality
+		avg.TotalWorker += m.TotalWorker
+		avg.SlotCoverage += m.SlotCoverage
+		avg.WorkerJain += m.WorkerJain
+		avg.MeanWorkerBenefit += m.MeanWorkerBenefit
+		avg.ActiveWorkers += m.ActiveWorkers
+		avg.Elapsed += m.Elapsed
+	}
+	avg.Pairs = int(float64(avg.Pairs)/n + 0.5)
+	avg.TotalMutual /= n
+	avg.TotalQuality /= n
+	avg.TotalWorker /= n
+	avg.SlotCoverage /= n
+	avg.WorkerJain /= n
+	avg.MeanWorkerBenefit /= n
+	avg.ActiveWorkers = int(float64(avg.ActiveWorkers)/n + 0.5)
+	avg.Elapsed /= time.Duration(len(ms))
+	return avg
+}
+
+// mutualValues extracts TotalMutual per rep (for CI reporting).
+func mutualValues(ms []core.Metrics) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = m.TotalMutual
+	}
+	return out
+}

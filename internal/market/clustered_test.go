@@ -1,0 +1,66 @@
+package market
+
+import "testing"
+
+func TestClusteredMarketValid(t *testing.T) {
+	in := ClusteredMarket(100, 80, 0.2, 1)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumWorkers() != 100 || in.NumTasks() != 80 {
+		t.Fatalf("shape (%d,%d)", in.NumWorkers(), in.NumTasks())
+	}
+}
+
+func TestClusteredMarketIsBimodal(t *testing.T) {
+	in := ClusteredMarket(200, 50, 0.25, 2)
+	// The first quarter are experts: narrow & accurate; the rest broad &
+	// mediocre.
+	nExperts := 50
+	var expAcc, genAcc float64
+	var expSpec, genSpec int
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		var acc float64
+		for _, c := range w.Specialties {
+			acc += w.Accuracy[c]
+		}
+		acc /= float64(len(w.Specialties))
+		if i < nExperts {
+			expAcc += acc
+			expSpec += len(w.Specialties)
+		} else {
+			genAcc += acc
+			genSpec += len(w.Specialties)
+		}
+	}
+	expAcc /= float64(nExperts)
+	genAcc /= float64(200 - nExperts)
+	if expAcc < genAcc+0.15 {
+		t.Fatalf("experts not clearly more accurate: %.3f vs %.3f", expAcc, genAcc)
+	}
+	if float64(expSpec)/float64(nExperts) >= float64(genSpec)/float64(200-nExperts) {
+		t.Fatal("experts should be narrower than generalists")
+	}
+}
+
+func TestClusteredMarketDefaultFrac(t *testing.T) {
+	in := ClusteredMarket(50, 20, 0, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in2 := ClusteredMarket(50, 20, 5, 3) // clamped to 1: all experts
+	if err := in2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredMarketDeterministic(t *testing.T) {
+	a := ClusteredMarket(60, 40, 0.2, 9)
+	b := ClusteredMarket(60, 40, 0.2, 9)
+	for i := range a.Workers {
+		if a.Workers[i].ReservationWage != b.Workers[i].ReservationWage {
+			t.Fatal("not deterministic")
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package market
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON asserts the instance parser never panics and that anything
+// it accepts satisfies the full structural validator (ReadJSON's contract).
+func FuzzReadJSON(f *testing.F) {
+	var seedBuf bytes.Buffer
+	_ = MustGenerate(Config{NumWorkers: 2, NumTasks: 2}, 1).WriteJSON(&seedBuf)
+	f.Add(seedBuf.String())
+	f.Add(`{"name":"x","num_categories":1,"workers":[],"tasks":[]}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		in, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if vErr := in.Validate(); vErr != nil {
+			t.Fatalf("ReadJSON accepted invalid instance: %v", vErr)
+		}
+	})
+}

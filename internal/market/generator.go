@@ -1,0 +1,284 @@
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Config parameterises the synthetic market generator.  Zero values are
+// filled in by Defaults; experiments override only the knob under study.
+type Config struct {
+	// Name labels the generated instance.
+	Name string
+	// NumWorkers and NumTasks size the two sides.
+	NumWorkers int
+	NumTasks   int
+	// NumCategories sizes the category universe.
+	NumCategories int
+	// CategorySkew is the Zipf exponent of task-category popularity.
+	// 0 = uniform; 1–1.5 matches real platform skew (see DESIGN.md §6).
+	CategorySkew float64
+	// WorkerSkew, when non-nil, sets a separate Zipf exponent for worker
+	// specialty choice.  When nil, workers follow the task skew
+	// (supply tracks demand, the equilibrium of a mature platform).
+	// Setting it to 0 models a demand shock: tasks concentrate while the
+	// workforce's skills stay broad — the regime the skew-sweep experiment
+	// (R-Fig7) studies.
+	WorkerSkew *float64
+	// SpecialtiesPerWorker bounds how many categories each worker accepts.
+	MinSpecialties, MaxSpecialties int
+	// Capacity bounds the tasks a worker accepts per round.
+	MinCapacity, MaxCapacity int
+	// Replication bounds how many workers each task requests.
+	MinReplication, MaxReplication int
+	// PaymentMu/PaymentSigma parameterise the log-normal payment
+	// distribution (real platform prices are log-normal).
+	PaymentMu, PaymentSigma float64
+	// AccuracyMean/AccuracyStd shape specialty accuracy (truncated normal in
+	// [0.5, 0.99]); off-specialty accuracy is drawn near 0.5.
+	AccuracyMean, AccuracyStd float64
+	// InterestSpecialty is the mean interest in a worker's own specialties;
+	// off-specialty interest is uniform in [0, 0.3].
+	InterestSpecialty float64
+	// DifficultyMax caps task difficulty (uniform in [0, DifficultyMax]).
+	DifficultyMax float64
+	// ReservationFrac scales reservation wages relative to the median
+	// payment: wage ~ Uniform(0, ReservationFrac · exp(PaymentMu)).
+	ReservationFrac float64
+}
+
+// Defaults returns cfg with every zero field replaced by the library
+// default.  The defaults describe a balanced mid-size market used by the
+// quickstart example and most unit tests.
+func (cfg Config) Defaults() Config {
+	def := Config{
+		Name:              "synthetic",
+		NumWorkers:        100,
+		NumTasks:          100,
+		NumCategories:     10,
+		CategorySkew:      0,
+		MinSpecialties:    1,
+		MaxSpecialties:    3,
+		MinCapacity:       1,
+		MaxCapacity:       4,
+		MinReplication:    1,
+		MaxReplication:    3,
+		PaymentMu:         2.0, // median payment e² ≈ 7.4
+		PaymentSigma:      0.6,
+		AccuracyMean:      0.8,
+		AccuracyStd:       0.1,
+		InterestSpecialty: 0.7,
+		DifficultyMax:     0.6,
+		ReservationFrac:   0.5,
+	}
+	if cfg.Name != "" {
+		def.Name = cfg.Name
+	}
+	if cfg.NumWorkers > 0 {
+		def.NumWorkers = cfg.NumWorkers
+	}
+	if cfg.NumTasks > 0 {
+		def.NumTasks = cfg.NumTasks
+	}
+	if cfg.NumCategories > 0 {
+		def.NumCategories = cfg.NumCategories
+	}
+	if cfg.CategorySkew != 0 {
+		def.CategorySkew = cfg.CategorySkew
+	}
+	def.WorkerSkew = cfg.WorkerSkew
+	if cfg.MinSpecialties > 0 {
+		def.MinSpecialties = cfg.MinSpecialties
+	}
+	if cfg.MaxSpecialties > 0 {
+		def.MaxSpecialties = cfg.MaxSpecialties
+	}
+	if cfg.MinCapacity > 0 {
+		def.MinCapacity = cfg.MinCapacity
+	}
+	if cfg.MaxCapacity > 0 {
+		def.MaxCapacity = cfg.MaxCapacity
+	}
+	if cfg.MinReplication > 0 {
+		def.MinReplication = cfg.MinReplication
+	}
+	if cfg.MaxReplication > 0 {
+		def.MaxReplication = cfg.MaxReplication
+	}
+	if cfg.PaymentMu != 0 {
+		def.PaymentMu = cfg.PaymentMu
+	}
+	if cfg.PaymentSigma != 0 {
+		def.PaymentSigma = cfg.PaymentSigma
+	}
+	if cfg.AccuracyMean != 0 {
+		def.AccuracyMean = cfg.AccuracyMean
+	}
+	if cfg.AccuracyStd != 0 {
+		def.AccuracyStd = cfg.AccuracyStd
+	}
+	if cfg.InterestSpecialty != 0 {
+		def.InterestSpecialty = cfg.InterestSpecialty
+	}
+	if cfg.DifficultyMax != 0 {
+		def.DifficultyMax = cfg.DifficultyMax
+	}
+	if cfg.ReservationFrac != 0 {
+		def.ReservationFrac = cfg.ReservationFrac
+	}
+	return def
+}
+
+// validate rejects configurations the generator cannot honour.
+func (cfg Config) validate() error {
+	switch {
+	case cfg.NumCategories <= 0:
+		return fmt.Errorf("market: NumCategories = %d", cfg.NumCategories)
+	case cfg.MinSpecialties <= 0 || cfg.MaxSpecialties < cfg.MinSpecialties:
+		return fmt.Errorf("market: specialty range [%d,%d]", cfg.MinSpecialties, cfg.MaxSpecialties)
+	case cfg.MaxSpecialties > cfg.NumCategories:
+		return fmt.Errorf("market: MaxSpecialties %d exceeds categories %d", cfg.MaxSpecialties, cfg.NumCategories)
+	case cfg.MinCapacity <= 0 || cfg.MaxCapacity < cfg.MinCapacity:
+		return fmt.Errorf("market: capacity range [%d,%d]", cfg.MinCapacity, cfg.MaxCapacity)
+	case cfg.MinReplication <= 0 || cfg.MaxReplication < cfg.MinReplication:
+		return fmt.Errorf("market: replication range [%d,%d]", cfg.MinReplication, cfg.MaxReplication)
+	case cfg.CategorySkew < 0:
+		return fmt.Errorf("market: negative CategorySkew %v", cfg.CategorySkew)
+	case cfg.WorkerSkew != nil && *cfg.WorkerSkew < 0:
+		return fmt.Errorf("market: negative WorkerSkew %v", *cfg.WorkerSkew)
+	case cfg.DifficultyMax < 0 || cfg.DifficultyMax > 1:
+		return fmt.Errorf("market: DifficultyMax %v outside [0,1]", cfg.DifficultyMax)
+	}
+	return nil
+}
+
+// Generate builds a synthetic market instance from cfg (after Defaults) and
+// the seed.  The same (cfg, seed) pair always yields the identical instance.
+func Generate(cfg Config, seed uint64) (*Instance, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(seed)
+	zipf := stats.NewZipf(cfg.NumCategories, cfg.CategorySkew)
+	workerZipf := zipf
+	if cfg.WorkerSkew != nil {
+		workerZipf = stats.NewZipf(cfg.NumCategories, *cfg.WorkerSkew)
+	}
+
+	in := &Instance{
+		Name:          cfg.Name,
+		NumCategories: cfg.NumCategories,
+		Workers:       make([]Worker, cfg.NumWorkers),
+		Tasks:         make([]Task, cfg.NumTasks),
+	}
+
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		w.ID = i
+		w.Capacity = r.IntRange(cfg.MinCapacity, cfg.MaxCapacity)
+		w.Accuracy = make([]float64, cfg.NumCategories)
+		w.Interest = make([]float64, cfg.NumCategories)
+		// By default workers gravitate to popular categories too (supply
+		// follows demand); WorkerSkew decouples the two sides.
+		nSpec := r.IntRange(cfg.MinSpecialties, cfg.MaxSpecialties)
+		w.Specialties = sampleDistinct(r, workerZipf, nSpec, cfg.NumCategories)
+		for c := 0; c < cfg.NumCategories; c++ {
+			w.Accuracy[c] = r.TruncNormal(0.55, 0.03, 0.5, 0.65)
+			w.Interest[c] = r.Float64Range(0, 0.3)
+		}
+		for _, c := range w.Specialties {
+			w.Accuracy[c] = r.TruncNormal(cfg.AccuracyMean, cfg.AccuracyStd, 0.5, 0.99)
+			w.Interest[c] = r.TruncNormal(cfg.InterestSpecialty, 0.15, 0, 1)
+		}
+		// Reservation wages scale with the median payment exp(PaymentMu).
+		w.ReservationWage = r.Float64Range(0, cfg.ReservationFrac*math.Exp(cfg.PaymentMu))
+	}
+
+	fillTasks(in.Tasks, cfg, zipf, r)
+	for j := range in.Tasks {
+		if in.Tasks[j].Payment > in.MaxPayment {
+			in.MaxPayment = in.Tasks[j].Payment
+		}
+	}
+	return in, nil
+}
+
+// fillTasks populates ts in place from the config's task distributions.
+func fillTasks(ts []Task, cfg Config, zipf *stats.Zipf, r *stats.RNG) {
+	for j := range ts {
+		t := &ts[j]
+		t.ID = j
+		t.Category = zipf.Sample(r)
+		t.Replication = r.IntRange(cfg.MinReplication, cfg.MaxReplication)
+		t.Payment = r.LogNormal(cfg.PaymentMu, cfg.PaymentSigma)
+		t.Difficulty = r.Float64Range(0, cfg.DifficultyMax)
+	}
+}
+
+// ResampleTasks returns a copy of in that keeps the worker population but
+// replaces the task set with a fresh draw from cfg's task distributions.
+// The dynamics simulator uses it to model task churn: workers persist
+// across rounds while each round brings a new batch of similar tasks.
+// cfg's category universe must match the instance's.
+func ResampleTasks(in *Instance, cfg Config, numTasks int, seed uint64) (*Instance, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumCategories != in.NumCategories {
+		return nil, fmt.Errorf("market: ResampleTasks category mismatch: cfg %d vs instance %d",
+			cfg.NumCategories, in.NumCategories)
+	}
+	if numTasks < 0 {
+		return nil, fmt.Errorf("market: negative task count %d", numTasks)
+	}
+	r := stats.NewRNG(seed)
+	zipf := stats.NewZipf(cfg.NumCategories, cfg.CategorySkew)
+	out := &Instance{
+		Name:          in.Name,
+		NumCategories: in.NumCategories,
+		Workers:       in.Workers, // shared: workers persist across rounds
+		Tasks:         make([]Task, numTasks),
+	}
+	fillTasks(out.Tasks, cfg, zipf, r)
+	for j := range out.Tasks {
+		if out.Tasks[j].Payment > out.MaxPayment {
+			out.MaxPayment = out.Tasks[j].Payment
+		}
+	}
+	return out, nil
+}
+
+// MustGenerate is Generate that panics on configuration errors; for use in
+// examples and benchmarks where the config is a literal.
+func MustGenerate(cfg Config, seed uint64) *Instance {
+	in, err := Generate(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// sampleDistinct draws n distinct categories, preferring the Zipf sampler
+// but falling back to uniform fill if rejection stalls on small universes.
+func sampleDistinct(r *stats.RNG, z *stats.Zipf, n, universe int) []int {
+	chosen := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for attempts := 0; len(chosen) < n && attempts < 20*n; attempts++ {
+		c := z.Sample(r)
+		if !seen[c] {
+			seen[c] = true
+			chosen = append(chosen, c)
+		}
+	}
+	for c := 0; len(chosen) < n && c < universe; c++ {
+		if !seen[c] {
+			seen[c] = true
+			chosen = append(chosen, c)
+		}
+	}
+	return chosen
+}

@@ -1,0 +1,158 @@
+package market
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateValidInstances(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		UniformConfig(50, 80),
+		ZipfConfig(50, 80, 1.2),
+		FreelanceTraceConfig(60, 40),
+		MicrotaskTraceConfig(40, 60),
+	} {
+		in, err := Generate(cfg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: generated invalid instance: %v", in.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := FreelanceTraceConfig(30, 30)
+	a := MustGenerate(cfg, 42)
+	b := MustGenerate(cfg, 42)
+	if a.NumWorkers() != b.NumWorkers() || a.NumTasks() != b.NumTasks() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Workers {
+		if a.Workers[i].Capacity != b.Workers[i].Capacity ||
+			a.Workers[i].ReservationWage != b.Workers[i].ReservationWage {
+			t.Fatalf("worker %d differs between same-seed runs", i)
+		}
+		for c := range a.Workers[i].Accuracy {
+			if a.Workers[i].Accuracy[c] != b.Workers[i].Accuracy[c] {
+				t.Fatalf("worker %d accuracy differs", i)
+			}
+		}
+	}
+	for j := range a.Tasks {
+		if a.Tasks[j] != b.Tasks[j] {
+			t.Fatalf("task %d differs between same-seed runs", j)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := UniformConfig(20, 20)
+	a := MustGenerate(cfg, 1)
+	b := MustGenerate(cfg, 2)
+	same := true
+	for j := range a.Tasks {
+		if a.Tasks[j].Payment != b.Tasks[j].Payment {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical payments")
+	}
+}
+
+func TestGenerateRespectsSizes(t *testing.T) {
+	in := MustGenerate(Config{NumWorkers: 7, NumTasks: 13}, 3)
+	if in.NumWorkers() != 7 || in.NumTasks() != 13 {
+		t.Fatalf("sizes %d, %d", in.NumWorkers(), in.NumTasks())
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{MinSpecialties: 5, MaxSpecialties: 2},
+		{NumCategories: 3, MaxSpecialties: 9},
+		{MinCapacity: 4, MaxCapacity: 2},
+		{MinReplication: 3, MaxReplication: 1},
+		{CategorySkew: -1},
+		{DifficultyMax: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, 1); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSkewConcentratesTaskCategories(t *testing.T) {
+	flat := MustGenerate(ZipfConfig(10, 5000, 0.01), 9)
+	steep := MustGenerate(ZipfConfig(10, 5000, 1.5), 9)
+	countTop := func(in *Instance) int {
+		counts := make([]int, in.NumCategories)
+		for _, task := range in.Tasks {
+			counts[task.Category]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return best
+	}
+	if countTop(steep) <= countTop(flat) {
+		t.Fatalf("steep skew top category %d <= flat %d", countTop(steep), countTop(flat))
+	}
+}
+
+func TestSpecialtyAccuracyExceedsOffSpecialty(t *testing.T) {
+	in := MustGenerate(Config{NumWorkers: 200, NumTasks: 1}, 4)
+	var specSum, offSum float64
+	var specN, offN int
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		for c := 0; c < in.NumCategories; c++ {
+			if w.AcceptsCategory(c) {
+				specSum += w.Accuracy[c]
+				specN++
+			} else {
+				offSum += w.Accuracy[c]
+				offN++
+			}
+		}
+	}
+	if specSum/float64(specN) <= offSum/float64(offN)+0.1 {
+		t.Fatalf("specialty accuracy %.3f not clearly above off-specialty %.3f",
+			specSum/float64(specN), offSum/float64(offN))
+	}
+}
+
+func TestTraceShapesDiffer(t *testing.T) {
+	fl := FreelanceTrace(100, 100, 5)
+	mt := MicrotaskTrace(100, 100, 5)
+	if fl.ComputeStats().MeanPayment <= mt.ComputeStats().MeanPayment {
+		t.Fatal("freelance payments should exceed microtask payments")
+	}
+	if fl.TotalSlots() >= mt.TotalSlots() {
+		t.Fatal("microtask replication should create more slots")
+	}
+}
+
+// Property: every generated instance validates, across random seeds and
+// moderate random sizes.
+func TestQuickGenerateAlwaysValid(t *testing.T) {
+	f := func(seed uint64, nw, nt uint8) bool {
+		cfg := Config{NumWorkers: int(nw%50) + 1, NumTasks: int(nt%50) + 1}
+		in, err := Generate(cfg, seed)
+		if err != nil {
+			return false
+		}
+		return in.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package market
+
+// The paper evaluated on data from a real labor platform, which is
+// proprietary and unavailable.  Per the substitution policy in DESIGN.md §6
+// this file provides two trace-shaped generators whose marginal
+// distributions follow the published descriptions of such platforms:
+//
+//   - FreelanceTrace: an Upwork/Freelancer-like project market — few, large,
+//     well-paid tasks with replication 1–2; strongly Zipf-skewed categories;
+//     heterogeneous, specialised workers with meaningful reservation wages;
+//     log-normal price dispersion.
+//   - MicrotaskTrace: an MTurk-like microtask market — many cheap tasks with
+//     high replication (3–7 answers aggregated per task); flat prices; broad,
+//     shallow worker skills and low reservation wages.
+//
+// Both regimes stress the mutual-benefit trade-off differently: in the
+// freelance market the tension is money vs. fit on scarce high-value edges;
+// in the microtask market it is aggregate answer quality vs. keeping a large
+// casual workforce engaged.
+
+// FreelanceTraceConfig returns the generator configuration of the
+// freelance-platform substitute with the given market size.
+func FreelanceTraceConfig(workers, tasks int) Config {
+	return Config{
+		Name:              "freelance",
+		NumWorkers:        workers,
+		NumTasks:          tasks,
+		NumCategories:     30,
+		CategorySkew:      1.1,
+		MinSpecialties:    1,
+		MaxSpecialties:    4,
+		MinCapacity:       1,
+		MaxCapacity:       3,
+		MinReplication:    1,
+		MaxReplication:    2,
+		PaymentMu:         3.5, // median ≈ $33 per project
+		PaymentSigma:      0.9, // wide log-normal dispersion
+		AccuracyMean:      0.85,
+		AccuracyStd:       0.08,
+		InterestSpecialty: 0.65,
+		DifficultyMax:     0.7,
+		ReservationFrac:   0.8, // freelancers have real outside options
+	}
+}
+
+// MicrotaskTraceConfig returns the generator configuration of the
+// microtask-platform substitute with the given market size.
+func MicrotaskTraceConfig(workers, tasks int) Config {
+	return Config{
+		Name:              "microtask",
+		NumWorkers:        workers,
+		NumTasks:          tasks,
+		NumCategories:     12,
+		CategorySkew:      0.8,
+		MinSpecialties:    3,
+		MaxSpecialties:    6,
+		MinCapacity:       2,
+		MaxCapacity:       8,
+		MinReplication:    3,
+		MaxReplication:    7,
+		PaymentMu:         0.5, // median ≈ $1.65 per answer
+		PaymentSigma:      0.3, // near-flat microtask prices
+		AccuracyMean:      0.75,
+		AccuracyStd:       0.12,
+		InterestSpecialty: 0.55,
+		DifficultyMax:     0.5,
+		ReservationFrac:   0.2, // casual workers accept almost anything
+	}
+}
+
+// FreelanceTrace generates the freelance-platform substitute instance.
+func FreelanceTrace(workers, tasks int, seed uint64) *Instance {
+	return MustGenerate(FreelanceTraceConfig(workers, tasks), seed)
+}
+
+// MicrotaskTrace generates the microtask-platform substitute instance.
+func MicrotaskTrace(workers, tasks int, seed uint64) *Instance {
+	return MustGenerate(MicrotaskTraceConfig(workers, tasks), seed)
+}
+
+// UniformConfig returns a skew-free control workload: uniform categories,
+// homogeneous capacities and replications.  It isolates algorithmic effects
+// from distributional ones in the sweeps.
+func UniformConfig(workers, tasks int) Config {
+	return Config{
+		Name:           "uniform",
+		NumWorkers:     workers,
+		NumTasks:       tasks,
+		NumCategories:  10,
+		CategorySkew:   0,
+		MinSpecialties: 2,
+		MaxSpecialties: 4,
+		MinCapacity:    2,
+		MaxCapacity:    2,
+		MinReplication: 2,
+		MaxReplication: 2,
+	}
+}
+
+// ClusteredMarket generates the two-tier "expert market": a small cadre of
+// specialists (narrow, highly accurate, expensive — high reservation wages)
+// above a broad base of generalists (wide, mediocre, cheap).  Real labor
+// platforms are strongly bimodal in exactly this way, and the regime
+// stresses the mutual-benefit trade-off hardest: quality-only assignment
+// funnels everything to the specialist cadre and starves the base.
+//
+// expertFrac is the fraction of workers in the specialist tier (default
+// 0.2 when 0).
+func ClusteredMarket(workers, tasks int, expertFrac float64, seed uint64) *Instance {
+	if expertFrac <= 0 {
+		expertFrac = 0.2
+	}
+	if expertFrac > 1 {
+		expertFrac = 1
+	}
+	nExperts := int(float64(workers)*expertFrac + 0.5)
+	expertCfg := Config{
+		Name:              "clustered",
+		NumWorkers:        nExperts,
+		NumTasks:          tasks,
+		NumCategories:     20,
+		CategorySkew:      0.9,
+		MinSpecialties:    1,
+		MaxSpecialties:    2, // narrow
+		MinCapacity:       1,
+		MaxCapacity:       2,
+		MinReplication:    1,
+		MaxReplication:    3,
+		PaymentMu:         2.5,
+		PaymentSigma:      0.8,
+		AccuracyMean:      0.93, // deep expertise
+		AccuracyStd:       0.04,
+		InterestSpecialty: 0.8,
+		DifficultyMax:     0.8,
+		ReservationFrac:   1.2, // experts are expensive
+	}
+	generalistCfg := expertCfg
+	generalistCfg.NumWorkers = workers - nExperts
+	generalistCfg.MinSpecialties = 4
+	generalistCfg.MaxSpecialties = 8 // broad
+	generalistCfg.MinCapacity = 2
+	generalistCfg.MaxCapacity = 5
+	generalistCfg.AccuracyMean = 0.68 // shallow
+	generalistCfg.AccuracyStd = 0.08
+	generalistCfg.InterestSpecialty = 0.55
+	generalistCfg.ReservationFrac = 0.2 // cheap
+
+	experts := MustGenerate(expertCfg, seed)
+	generalists := MustGenerate(generalistCfg, seed^0x5bd1e995)
+
+	// Merge: experts' tasks become the instance's tasks; generalists are
+	// appended with re-densified IDs.
+	out := &Instance{
+		Name:          "clustered",
+		NumCategories: expertCfg.NumCategories,
+		Workers:       experts.Workers,
+		Tasks:         experts.Tasks,
+		MaxPayment:    experts.MaxPayment,
+	}
+	for _, w := range generalists.Workers {
+		w.ID = len(out.Workers)
+		out.Workers = append(out.Workers, w)
+	}
+	return out
+}
+
+// ZipfConfig returns the skew-sweep workload with the given Zipf exponent.
+// Note theta = 0 cannot be expressed through Config.Defaults (zero means
+// "use default", which is already 0), so this helper exists mostly for
+// callers that sweep theta > 0 and fall back to UniformConfig at 0.
+func ZipfConfig(workers, tasks int, theta float64) Config {
+	cfg := UniformConfig(workers, tasks)
+	cfg.Name = "zipf"
+	cfg.CategorySkew = theta
+	return cfg
+}

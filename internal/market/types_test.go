@@ -1,0 +1,127 @@
+package market
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyInstance builds a small hand-constructed valid instance used across
+// the package tests.
+func tinyInstance() *Instance {
+	return &Instance{
+		Name:          "tiny",
+		NumCategories: 2,
+		Workers: []Worker{
+			{
+				ID: 0, Capacity: 2,
+				Accuracy:        []float64{0.9, 0.6},
+				Interest:        []float64{0.8, 0.1},
+				Specialties:     []int{0},
+				ReservationWage: 1,
+			},
+			{
+				ID: 1, Capacity: 1,
+				Accuracy:        []float64{0.55, 0.85},
+				Interest:        []float64{0.2, 0.9},
+				Specialties:     []int{1},
+				ReservationWage: 2,
+			},
+		},
+		Tasks: []Task{
+			{ID: 0, Category: 0, Replication: 1, Payment: 5, Difficulty: 0.2},
+			{ID: 1, Category: 1, Replication: 2, Payment: 3, Difficulty: 0.4},
+		},
+		MaxPayment: 5,
+	}
+}
+
+func TestTinyInstanceValid(t *testing.T) {
+	if err := tinyInstance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceCounters(t *testing.T) {
+	in := tinyInstance()
+	if in.NumWorkers() != 2 || in.NumTasks() != 2 {
+		t.Fatal("counts wrong")
+	}
+	if in.TotalSlots() != 3 {
+		t.Fatalf("slots = %d", in.TotalSlots())
+	}
+	if in.TotalCapacity() != 3 {
+		t.Fatalf("capacity = %d", in.TotalCapacity())
+	}
+	// Worker 0 accepts cat 0 (1 task), worker 1 accepts cat 1 (1 task).
+	if in.NumEdges() != 2 {
+		t.Fatalf("edges = %d", in.NumEdges())
+	}
+}
+
+func TestAcceptsCategory(t *testing.T) {
+	in := tinyInstance()
+	if !in.Workers[0].AcceptsCategory(0) || in.Workers[0].AcceptsCategory(1) {
+		t.Fatal("specialty check wrong")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Instance)
+		want string
+	}{
+		{"no categories", func(in *Instance) { in.NumCategories = 0 }, "category"},
+		{"non-dense worker id", func(in *Instance) { in.Workers[1].ID = 5 }, "ID"},
+		{"negative capacity", func(in *Instance) { in.Workers[0].Capacity = -1 }, "capacity"},
+		{"short accuracy", func(in *Instance) { in.Workers[0].Accuracy = in.Workers[0].Accuracy[:1] }, "length"},
+		{"accuracy below half", func(in *Instance) { in.Workers[0].Accuracy[0] = 0.4 }, "accuracy"},
+		{"accuracy at one", func(in *Instance) { in.Workers[0].Accuracy[0] = 1.0 }, "accuracy"},
+		{"interest negative", func(in *Instance) { in.Workers[0].Interest[0] = -0.1 }, "interest"},
+		{"no specialties", func(in *Instance) { in.Workers[0].Specialties = nil }, "specialties"},
+		{"specialty out of range", func(in *Instance) { in.Workers[0].Specialties = []int{9} }, "specialty"},
+		{"duplicate specialty", func(in *Instance) { in.Workers[0].Specialties = []int{0, 0} }, "duplicate"},
+		{"negative wage", func(in *Instance) { in.Workers[0].ReservationWage = -1 }, "wage"},
+		{"non-dense task id", func(in *Instance) { in.Tasks[0].ID = 3 }, "ID"},
+		{"bad category", func(in *Instance) { in.Tasks[0].Category = 7 }, "category"},
+		{"zero replication", func(in *Instance) { in.Tasks[0].Replication = 0 }, "replication"},
+		{"negative payment", func(in *Instance) { in.Tasks[0].Payment = -1 }, "payment"},
+		{"difficulty above one", func(in *Instance) { in.Tasks[0].Difficulty = 1.5 }, "difficulty"},
+		{"stale max payment", func(in *Instance) { in.MaxPayment = 1 }, "MaxPayment"},
+	}
+	for _, m := range mutations {
+		in := tinyInstance()
+		m.mut(in)
+		err := in.Validate()
+		if err == nil {
+			t.Errorf("%s: validation passed", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	in := tinyInstance()
+	s := in.ComputeStats()
+	if s.Workers != 2 || s.Tasks != 2 || s.Edges != 2 || s.TotalSlots != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MeanPayment != 4 {
+		t.Fatalf("mean payment = %v", s.MeanPayment)
+	}
+	// Specialty accuracies are 0.9 and 0.85 → mean 0.875.
+	if s.MeanAccuracy != 0.875 {
+		t.Fatalf("mean accuracy = %v", s.MeanAccuracy)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	in := &Instance{Name: "empty", NumCategories: 1}
+	s := in.ComputeStats()
+	if s.Workers != 0 || s.Tasks != 0 || s.MeanPayment != 0 || s.MeanAccuracy != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

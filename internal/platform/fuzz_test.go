@@ -1,0 +1,28 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadLog asserts the log parser never panics and never returns both a
+// nil error and events that fail replay-level validation on arbitrary
+// byte input.
+func FuzzReadLog(f *testing.F) {
+	f.Add(`{"seq":1,"kind":"round_closed","round":0}`)
+	f.Add(`{"seq":1,"kind":"worker_left","worker_id":3}`)
+	f.Add("")
+	f.Add("\n\n{bad")
+	f.Add(`{"seq":1,"kind":"task_posted","task":{"id":0,"category":0,"replication":1,"payment":1,"difficulty":0}}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadLog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, e := range events {
+			if vErr := e.Validate(); vErr != nil {
+				t.Fatalf("ReadLog returned invalid event %+v: %v", e, vErr)
+			}
+		}
+	})
+}

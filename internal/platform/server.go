@@ -1,0 +1,140 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/market"
+)
+
+// Server exposes the assignment service as a JSON HTTP API (cmd/mbaserve):
+//
+//	POST   /v1/workers            body: market.Worker      → {"id": n}
+//	DELETE /v1/workers/{id}                                → 204
+//	POST   /v1/tasks              body: market.Task        → {"id": n}
+//	DELETE /v1/tasks/{id}                                  → 204
+//	GET    /v1/stats                                       → live counts
+//	POST   /v1/rounds?drain=true                           → RoundResult
+//
+// With drain=true every task assigned at least one worker in the round is
+// closed afterwards — the "one round collects the panel" policy; without it
+// tasks stay open and keep collecting across rounds.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer wires the HTTP handlers around a service.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/workers", s.handleAddWorker)
+	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleRemoveWorker)
+	s.mux.HandleFunc("POST /v1/tasks", s.handleAddTask)
+	s.mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleRemoveTask)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/rounds", s.handleCloseRound)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
+	var worker market.Worker
+	if err := json.NewDecoder(r.Body).Decode(&worker); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding worker: %w", err))
+		return
+	}
+	applied, err := s.svc.Submit(NewWorkerJoined(worker))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": applied.Worker.ID})
+}
+
+func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker id: %w", err))
+		return
+	}
+	if _, err := s.svc.Submit(NewWorkerLeft(id)); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAddTask(w http.ResponseWriter, r *http.Request) {
+	var task market.Task
+	if err := json.NewDecoder(r.Body).Decode(&task); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding task: %w", err))
+		return
+	}
+	applied, err := s.svc.Submit(NewTaskPosted(task))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": applied.Task.ID})
+}
+
+func (s *Server) handleRemoveTask(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad task id: %w", err))
+		return
+	}
+	if _, err := s.svc.Submit(NewTaskClosed(id)); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	workers, tasks := s.svc.State().Counts()
+	writeJSON(w, http.StatusOK, map[string]int{
+		"workers": workers,
+		"tasks":   tasks,
+		"rounds":  s.svc.State().Rounds(),
+	})
+}
+
+func (s *Server) handleCloseRound(w http.ResponseWriter, r *http.Request) {
+	res, err := s.svc.CloseRound()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if r.URL.Query().Get("drain") == "true" {
+		assigned := map[int]bool{}
+		for _, p := range res.Pairs {
+			assigned[p.TaskID] = true
+		}
+		for id := range assigned {
+			if _, err := s.svc.Submit(NewTaskClosed(id)); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,192 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	state := mustState(t)
+	svc, err := NewService(state, core.Greedy{Kind: core.MutualWeight}, benefit.DefaultParams(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]json.RawMessage
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestServerWorkerAndTaskLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, out := postJSON(t, ts.URL+"/v1/workers", validWorker())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add worker status %d (%v)", resp.StatusCode, out)
+	}
+	var workerID int
+	if err := json.Unmarshal(out["id"], &workerID); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, out = postJSON(t, ts.URL+"/v1/tasks", validTask())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add task status %d (%v)", resp.StatusCode, out)
+	}
+
+	// Stats reflect the submissions.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]int
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["workers"] != 1 || stats["tasks"] != 1 || stats["rounds"] != 0 {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	// Remove the worker.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/workers/%d", ts.URL, workerID), nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", delResp.StatusCode)
+	}
+}
+
+func TestServerRejectsInvalidPayloads(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/workers", map[string]interface{}{"capacity": -5})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad worker status %d", resp.StatusCode)
+	}
+	r, err := http.Post(ts.URL+"/v1/workers", "application/json", bytes.NewBufferString("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status %d", r.StatusCode)
+	}
+}
+
+func TestServerDeleteUnknown(t *testing.T) {
+	ts := newTestServer(t)
+	for _, path := range []string{"/v1/workers/99", "/v1/tasks/99"} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workers/notanumber", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-numeric id status %d", resp.StatusCode)
+	}
+}
+
+func TestServerCloseRoundAndDrain(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		if resp, _ := postJSON(t, ts.URL+"/v1/workers", validWorker()); resp.StatusCode != http.StatusCreated {
+			t.Fatal("add worker failed")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if resp, _ := postJSON(t, ts.URL+"/v1/tasks", validTask()); resp.StatusCode != http.StatusCreated {
+			t.Fatal("add task failed")
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/rounds?drain=true", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("round status %d", resp.StatusCode)
+	}
+	var res RoundResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("round assigned nothing")
+	}
+
+	// Drained: the assigned tasks are gone.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]int
+	json.NewDecoder(statsResp.Body).Decode(&stats)
+	if stats["tasks"] != 0 {
+		t.Fatalf("tasks not drained: %v", stats)
+	}
+	if stats["rounds"] != 1 {
+		t.Fatalf("rounds = %d", stats["rounds"])
+	}
+}
+
+func TestServerRoundWithoutDrainKeepsTasks(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/workers", validWorker())
+	postJSON(t, ts.URL+"/v1/tasks", validTask())
+	resp, err := http.Post(ts.URL+"/v1/rounds", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]int
+	json.NewDecoder(statsResp.Body).Decode(&stats)
+	if stats["tasks"] != 1 {
+		t.Fatalf("tasks = %d, want 1 (no drain)", stats["tasks"])
+	}
+}

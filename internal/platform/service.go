@@ -1,0 +1,124 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// AssignmentPair reports one assigned pair in platform identities.
+type AssignmentPair struct {
+	WorkerID int     `json:"worker_id"`
+	TaskID   int     `json:"task_id"`
+	Quality  float64 `json:"quality"`
+	Utility  float64 `json:"utility"`
+	Mutual   float64 `json:"mutual"`
+}
+
+// RoundResult is the outcome of one assignment round over the live state.
+type RoundResult struct {
+	Round   int              `json:"round"`
+	Pairs   []AssignmentPair `json:"pairs"`
+	Metrics core.Metrics     `json:"metrics"`
+}
+
+// Service runs assignment rounds over a live State with a fixed solver and
+// benefit parameters, optionally journaling every mutation to a Log.
+//
+// Concurrency model: events may be submitted from many goroutines;
+// CloseRound snapshots the state (read lock only) and solves outside any
+// lock, so a slow exact solve never blocks ingestion.  The round log append
+// and counter update serialise through the service mutex.
+type Service struct {
+	mu     sync.Mutex
+	state  *State
+	log    *Log // optional journal; nil disables
+	solver core.Solver
+	params benefit.Params
+	rng    *stats.RNG
+}
+
+// NewService wires a service.  log may be nil (no journaling).
+func NewService(state *State, solver core.Solver, params benefit.Params, log *Log, seed uint64) (*Service, error) {
+	if state == nil {
+		return nil, fmt.Errorf("platform: nil state")
+	}
+	if solver == nil {
+		return nil, fmt.Errorf("platform: nil solver")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Service{
+		state:  state,
+		log:    log,
+		solver: solver,
+		params: params,
+		rng:    stats.NewRNG(seed),
+	}, nil
+}
+
+// State exposes the underlying state (read-mostly use).
+func (s *Service) State() *State { return s.state }
+
+// Submit applies an event to the state and journals it.
+func (s *Service) Submit(e Event) (Event, error) {
+	applied, err := s.state.Apply(e)
+	if err != nil {
+		return Event{}, err
+	}
+	if s.log != nil {
+		s.mu.Lock()
+		err = s.log.Append(applied)
+		s.mu.Unlock()
+		if err != nil {
+			return Event{}, err
+		}
+	}
+	return applied, nil
+}
+
+// CloseRound assigns all open tasks to the live workforce, journals the
+// round marker, and returns the result in platform identities.  Closed
+// tasks are *not* removed automatically: platforms differ on whether a
+// task keeps collecting answers across rounds, so removal is the caller's
+// policy (see Server's drain parameter).
+func (s *Service) CloseRound() (*RoundResult, error) {
+	in, workerIDs, taskIDs := s.state.Snapshot()
+	var res RoundResult
+	if in.NumWorkers() > 0 && in.NumTasks() > 0 {
+		p, err := core.NewProblem(in, s.params)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		r := s.rng.Split()
+		s.mu.Unlock()
+		sel, m, err := core.Run(p, s.solver, r)
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics = m
+		res.Pairs = make([]AssignmentPair, len(sel))
+		for i, ei := range sel {
+			e := &p.Edges[ei]
+			res.Pairs[i] = AssignmentPair{
+				WorkerID: workerIDs[e.W],
+				TaskID:   taskIDs[e.T],
+				Quality:  e.Q,
+				Utility:  e.B,
+				Mutual:   e.M,
+			}
+		}
+	}
+	marker, err := s.Submit(NewRoundClosed(s.state.Rounds()))
+	if err != nil {
+		return nil, err
+	}
+	_ = marker
+	res.Round = s.state.Rounds()
+	return &res, nil
+}

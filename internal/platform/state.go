@@ -1,0 +1,245 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/market"
+)
+
+// State is the live market: the mutable set of online workers and open
+// tasks, maintained by applying events.  It is safe for concurrent use —
+// the HTTP server mutates it from request goroutines while the assignment
+// service snapshots it.
+//
+// Identity model: the platform assigns stable uint-ish IDs (dense over the
+// lifetime of the state, never reused).  Snapshot() compacts the live
+// entities into a market.Instance with dense instance-local indices and
+// returns the mapping back to platform IDs, so assignment results can be
+// reported against stable identities.
+type State struct {
+	mu sync.RWMutex
+
+	numCategories int
+	nextSeq       uint64
+	nextWorkerID  int
+	nextTaskID    int
+	rounds        int
+
+	workers map[int]market.Worker // live workers by platform ID
+	tasks   map[int]market.Task   // open tasks by platform ID
+}
+
+// NewState creates an empty market over the given category universe.
+func NewState(numCategories int) (*State, error) {
+	if numCategories <= 0 {
+		return nil, fmt.Errorf("platform: numCategories must be positive, got %d", numCategories)
+	}
+	return &State{
+		numCategories: numCategories,
+		workers:       map[int]market.Worker{},
+		tasks:         map[int]market.Task{},
+	}, nil
+}
+
+// NumCategories returns the category universe size.
+func (s *State) NumCategories() int { return s.numCategories }
+
+// Counts returns the number of live workers and open tasks.
+func (s *State) Counts() (workers, tasks int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.workers), len(s.tasks)
+}
+
+// Rounds returns how many assignment rounds have been closed.
+func (s *State) Rounds() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rounds
+}
+
+// Apply validates and applies one event, assigning it the next sequence
+// number.  It returns the applied event (with Seq and any platform-assigned
+// IDs filled in) so callers can append it to a log.
+//
+// Apply is the single mutation entry point: the HTTP API, the log replayer
+// and tests all converge here, which is what makes replay deterministic.
+func (s *State) Apply(e Event) (Event, error) {
+	if err := e.Validate(); err != nil {
+		return Event{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	switch e.Kind {
+	case EventWorkerJoined:
+		w := *e.Worker
+		if err := validateWorkerProfile(&w, s.numCategories); err != nil {
+			return Event{}, err
+		}
+		// During replay, preserve the recorded ID and advance the counter
+		// past it; for fresh events (ID 0 is ambiguous, so fresh events must
+		// leave ID at 0 and rely on assignment) allocate the next ID.
+		if w.ID >= s.nextWorkerID {
+			s.nextWorkerID = w.ID + 1
+		} else if w.ID == 0 && s.nextWorkerID > 0 {
+			w.ID = s.nextWorkerID
+			s.nextWorkerID++
+		}
+		if _, dup := s.workers[w.ID]; dup {
+			return Event{}, fmt.Errorf("platform: worker %d already live", w.ID)
+		}
+		s.workers[w.ID] = w
+		e.Worker = &w
+	case EventWorkerLeft:
+		if _, ok := s.workers[*e.WorkerID]; !ok {
+			return Event{}, fmt.Errorf("platform: worker %d not live", *e.WorkerID)
+		}
+		delete(s.workers, *e.WorkerID)
+	case EventTaskPosted:
+		t := *e.Task
+		if err := validateTaskShape(&t, s.numCategories); err != nil {
+			return Event{}, err
+		}
+		if t.ID >= s.nextTaskID {
+			s.nextTaskID = t.ID + 1
+		} else if t.ID == 0 && s.nextTaskID > 0 {
+			t.ID = s.nextTaskID
+			s.nextTaskID++
+		}
+		if _, dup := s.tasks[t.ID]; dup {
+			return Event{}, fmt.Errorf("platform: task %d already open", t.ID)
+		}
+		s.tasks[t.ID] = t
+		e.Task = &t
+	case EventTaskClosed:
+		if _, ok := s.tasks[*e.TaskID]; !ok {
+			return Event{}, fmt.Errorf("platform: task %d not open", *e.TaskID)
+		}
+		delete(s.tasks, *e.TaskID)
+	case EventRoundClosed:
+		s.rounds++
+	}
+
+	s.nextSeq++
+	e.Seq = s.nextSeq
+	return e, nil
+}
+
+// validateWorkerProfile checks the per-worker invariants market.Validate
+// enforces, independent of instance position.
+func validateWorkerProfile(w *market.Worker, numCategories int) error {
+	if w.Capacity < 0 {
+		return fmt.Errorf("platform: worker capacity %d negative", w.Capacity)
+	}
+	if len(w.Accuracy) != numCategories || len(w.Interest) != numCategories {
+		return fmt.Errorf("platform: worker profile length mismatch (want %d categories)", numCategories)
+	}
+	for c, a := range w.Accuracy {
+		if a < 0.5 || a >= 1 {
+			return fmt.Errorf("platform: worker accuracy[%d]=%v outside [0.5,1)", c, a)
+		}
+	}
+	for c, iv := range w.Interest {
+		if iv < 0 || iv > 1 {
+			return fmt.Errorf("platform: worker interest[%d]=%v outside [0,1]", c, iv)
+		}
+	}
+	if len(w.Specialties) == 0 {
+		return fmt.Errorf("platform: worker has no specialties")
+	}
+	seen := map[int]bool{}
+	for _, sp := range w.Specialties {
+		if sp < 0 || sp >= numCategories {
+			return fmt.Errorf("platform: specialty %d out of range", sp)
+		}
+		if seen[sp] {
+			return fmt.Errorf("platform: duplicate specialty %d", sp)
+		}
+		seen[sp] = true
+	}
+	if w.ReservationWage < 0 {
+		return fmt.Errorf("platform: negative reservation wage")
+	}
+	return nil
+}
+
+// validateTaskShape checks per-task invariants.
+func validateTaskShape(t *market.Task, numCategories int) error {
+	if t.Category < 0 || t.Category >= numCategories {
+		return fmt.Errorf("platform: task category %d out of range", t.Category)
+	}
+	if t.Replication <= 0 {
+		return fmt.Errorf("platform: task replication %d not positive", t.Replication)
+	}
+	if t.Payment < 0 {
+		return fmt.Errorf("platform: negative payment")
+	}
+	if t.Difficulty < 0 || t.Difficulty > 1 {
+		return fmt.Errorf("platform: difficulty %v outside [0,1]", t.Difficulty)
+	}
+	return nil
+}
+
+// Snapshot compacts the live state into a valid market.Instance with dense
+// indices.  The returned slices map instance index → platform ID for both
+// sides.  The instance copies all data, so later events do not race with
+// solvers working on the snapshot.
+func (s *State) Snapshot() (*market.Instance, []int, []int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	workerIDs := make([]int, 0, len(s.workers))
+	for id := range s.workers {
+		workerIDs = append(workerIDs, id)
+	}
+	sort.Ints(workerIDs)
+	taskIDs := make([]int, 0, len(s.tasks))
+	for id := range s.tasks {
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Ints(taskIDs)
+
+	in := &market.Instance{
+		Name:          "platform",
+		NumCategories: s.numCategories,
+		Workers:       make([]market.Worker, len(workerIDs)),
+		Tasks:         make([]market.Task, len(taskIDs)),
+	}
+	for i, id := range workerIDs {
+		w := s.workers[id]
+		// Deep-copy the profile slices: the instance must be immune to
+		// later state mutation.
+		w.Accuracy = append([]float64(nil), w.Accuracy...)
+		w.Interest = append([]float64(nil), w.Interest...)
+		w.Specialties = append([]int(nil), w.Specialties...)
+		w.ID = i
+		in.Workers[i] = w
+	}
+	for j, id := range taskIDs {
+		t := s.tasks[id]
+		t.ID = j
+		in.Tasks[j] = t
+		if t.Payment > in.MaxPayment {
+			in.MaxPayment = t.Payment
+		}
+	}
+	return in, workerIDs, taskIDs
+}
+
+// Replay applies a sequence of recorded events to a fresh state.  Events
+// must be in log order; the first failure aborts with context.
+func Replay(numCategories int, events []Event) (*State, error) {
+	s, err := NewState(numCategories)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range events {
+		if _, err := s.Apply(e); err != nil {
+			return nil, fmt.Errorf("platform: replay event %d (seq %d): %w", i, e.Seq, err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,240 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/market"
+)
+
+// validWorker returns a valid 3-category worker profile.
+func validWorker() market.Worker {
+	return market.Worker{
+		Capacity:        2,
+		Accuracy:        []float64{0.8, 0.6, 0.7},
+		Interest:        []float64{0.9, 0.1, 0.4},
+		Specialties:     []int{0, 2},
+		ReservationWage: 1,
+	}
+}
+
+// validTask returns a valid task in category 0.
+func validTask() market.Task {
+	return market.Task{Category: 0, Replication: 2, Payment: 5, Difficulty: 0.3}
+}
+
+func mustState(t *testing.T) *State {
+	t.Helper()
+	s, err := NewState(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStateValidation(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Fatal("zero categories accepted")
+	}
+	if _, err := NewState(-1); err == nil {
+		t.Fatal("negative categories accepted")
+	}
+}
+
+func TestApplyWorkerLifecycle(t *testing.T) {
+	s := mustState(t)
+	e1, err := s.Apply(NewWorkerJoined(validWorker()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.Apply(NewWorkerJoined(validWorker()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Worker.ID == e2.Worker.ID {
+		t.Fatal("platform assigned duplicate worker IDs")
+	}
+	if e1.Seq >= e2.Seq {
+		t.Fatal("sequence numbers not increasing")
+	}
+	if w, _ := s.Counts(); w != 2 {
+		t.Fatalf("workers = %d", w)
+	}
+	if _, err := s.Apply(NewWorkerLeft(e1.Worker.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := s.Counts(); w != 1 {
+		t.Fatalf("workers after leave = %d", w)
+	}
+	if _, err := s.Apply(NewWorkerLeft(e1.Worker.ID)); err == nil {
+		t.Fatal("double leave accepted")
+	}
+}
+
+func TestApplyTaskLifecycle(t *testing.T) {
+	s := mustState(t)
+	e, err := s.Apply(NewTaskPosted(validTask()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, tasks := s.Counts(); tasks != 1 {
+		t.Fatalf("tasks = %d", tasks)
+	}
+	if _, err := s.Apply(NewTaskClosed(e.Task.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(NewTaskClosed(e.Task.ID)); err == nil {
+		t.Fatal("double close accepted")
+	}
+}
+
+func TestApplyRejectsBadProfiles(t *testing.T) {
+	s := mustState(t)
+	cases := []struct {
+		name string
+		mut  func(*market.Worker)
+	}{
+		{"negative capacity", func(w *market.Worker) { w.Capacity = -1 }},
+		{"short accuracy", func(w *market.Worker) { w.Accuracy = w.Accuracy[:1] }},
+		{"accuracy below half", func(w *market.Worker) { w.Accuracy[0] = 0.2 }},
+		{"interest above one", func(w *market.Worker) { w.Interest[0] = 2 }},
+		{"no specialties", func(w *market.Worker) { w.Specialties = nil }},
+		{"bad specialty", func(w *market.Worker) { w.Specialties = []int{5} }},
+		{"dup specialty", func(w *market.Worker) { w.Specialties = []int{1, 1} }},
+		{"negative wage", func(w *market.Worker) { w.ReservationWage = -1 }},
+	}
+	for _, tc := range cases {
+		w := validWorker()
+		tc.mut(&w)
+		if _, err := s.Apply(NewWorkerJoined(w)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	badTasks := []struct {
+		name string
+		mut  func(*market.Task)
+	}{
+		{"bad category", func(tk *market.Task) { tk.Category = 9 }},
+		{"zero replication", func(tk *market.Task) { tk.Replication = 0 }},
+		{"negative payment", func(tk *market.Task) { tk.Payment = -2 }},
+		{"bad difficulty", func(tk *market.Task) { tk.Difficulty = 2 }},
+	}
+	for _, tc := range badTasks {
+		tk := validTask()
+		tc.mut(&tk)
+		if _, err := s.Apply(NewTaskPosted(tk)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	bad := []Event{
+		{Kind: EventWorkerJoined},
+		{Kind: EventWorkerLeft},
+		{Kind: EventTaskPosted},
+		{Kind: EventTaskClosed},
+		{Kind: EventRoundClosed},
+		{Kind: "mystery"},
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("%s accepted without payload", e.Kind)
+		}
+	}
+}
+
+func TestSnapshotIsValidInstanceAndIsolated(t *testing.T) {
+	s := mustState(t)
+	we, _ := s.Apply(NewWorkerJoined(validWorker()))
+	s.Apply(NewWorkerJoined(validWorker()))
+	s.Apply(NewTaskPosted(validTask()))
+	tk := validTask()
+	tk.Category = 2
+	tk.Payment = 9
+	s.Apply(NewTaskPosted(tk))
+
+	in, workerIDs, taskIDs := s.Snapshot()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	if len(workerIDs) != 2 || len(taskIDs) != 2 {
+		t.Fatal("mapping sizes wrong")
+	}
+	if in.MaxPayment != 9 {
+		t.Fatalf("MaxPayment = %v", in.MaxPayment)
+	}
+	// Mutating state after snapshot must not affect the snapshot.
+	s.Apply(NewWorkerLeft(we.Worker.ID))
+	if in.NumWorkers() != 2 {
+		t.Fatal("snapshot shrank after state mutation")
+	}
+	// Deep copy: mutating the live worker's profile must not leak in.
+	in2, _, _ := s.Snapshot()
+	in2.Workers[0].Accuracy[0] = 0.99
+	in3, _, _ := s.Snapshot()
+	if in3.Workers[0].Accuracy[0] == 0.99 {
+		t.Fatal("snapshots share profile slices")
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	s := mustState(t)
+	in, workerIDs, taskIDs := s.Snapshot()
+	if in.NumWorkers() != 0 || in.NumTasks() != 0 || len(workerIDs) != 0 || len(taskIDs) != 0 {
+		t.Fatal("empty snapshot not empty")
+	}
+}
+
+func TestReplayReproducesState(t *testing.T) {
+	s := mustState(t)
+	var logEvents []Event
+	apply := func(e Event) Event {
+		t.Helper()
+		applied, err := s.Apply(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logEvents = append(logEvents, applied)
+		return applied
+	}
+	w1 := apply(NewWorkerJoined(validWorker()))
+	apply(NewWorkerJoined(validWorker()))
+	t1 := apply(NewTaskPosted(validTask()))
+	apply(NewTaskPosted(validTask()))
+	apply(NewWorkerLeft(w1.Worker.ID))
+	apply(NewTaskClosed(t1.Task.ID))
+	apply(NewRoundClosed(0))
+
+	replayed, err := Replay(3, logEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, tk := s.Counts()
+	rw, rtk := replayed.Counts()
+	if w != rw || tk != rtk || s.Rounds() != replayed.Rounds() {
+		t.Fatalf("replayed state differs: (%d,%d,%d) vs (%d,%d,%d)",
+			w, tk, s.Rounds(), rw, rtk, replayed.Rounds())
+	}
+	inA, idsA, _ := s.Snapshot()
+	inB, idsB, _ := replayed.Snapshot()
+	if len(idsA) != len(idsB) {
+		t.Fatal("worker id sets differ")
+	}
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatal("worker ids differ after replay")
+		}
+	}
+	if inA.NumEdges() != inB.NumEdges() {
+		t.Fatal("snapshots structurally differ after replay")
+	}
+}
+
+func TestReplayRejectsCorruptedHistory(t *testing.T) {
+	// A leave for a worker that never joined must fail replay.
+	_, err := Replay(3, []Event{NewWorkerLeft(7)})
+	if err == nil || !strings.Contains(err.Error(), "replay event 0") {
+		t.Fatalf("err = %v", err)
+	}
+}

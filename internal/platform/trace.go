@@ -1,0 +1,124 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+// TraceConfig parameterises SyntheticTrace.
+type TraceConfig struct {
+	// Market shapes the worker/task populations drawn from (the generator's
+	// per-entity distributions are reused; its size fields are ignored).
+	Market market.Config
+	// Events is the total number of events to emit.
+	Events int
+	// RoundEvery inserts a round_closed marker every that-many events
+	// (0 disables markers).
+	RoundEvery int
+	// ChurnProb is the probability an event is a departure/closure rather
+	// than an arrival (given something exists to remove); default 0.25.
+	ChurnProb float64
+}
+
+// SyntheticTrace generates a plausible event stream for the live platform:
+// workers join and leave, tasks are posted and closed, with the same
+// per-entity distributions as the batch generators.  The trace is valid by
+// construction — replaying it through Replay/State.Apply never errors — and
+// deterministic per seed.  It feeds demos of cmd/mbaserve and the replay
+// tooling (cmd/mbareplay).
+func SyntheticTrace(cfg TraceConfig, seed uint64) ([]Event, error) {
+	mcfg := cfg.Market.Defaults()
+	if cfg.Events <= 0 {
+		return nil, fmt.Errorf("platform: Events must be positive, got %d", cfg.Events)
+	}
+	churn := cfg.ChurnProb
+	if churn <= 0 {
+		churn = 0.25
+	}
+	if churn >= 1 {
+		return nil, fmt.Errorf("platform: ChurnProb %v must be below 1", churn)
+	}
+	// Reuse the batch generator for entity shapes: draw a big instance once
+	// and deal entities from it as arrival events.
+	pool, err := market.Generate(market.Config{
+		Name:              mcfg.Name,
+		NumWorkers:        cfg.Events,
+		NumTasks:          cfg.Events,
+		NumCategories:     mcfg.NumCategories,
+		CategorySkew:      mcfg.CategorySkew,
+		MinSpecialties:    mcfg.MinSpecialties,
+		MaxSpecialties:    mcfg.MaxSpecialties,
+		MinCapacity:       mcfg.MinCapacity,
+		MaxCapacity:       mcfg.MaxCapacity,
+		MinReplication:    mcfg.MinReplication,
+		MaxReplication:    mcfg.MaxReplication,
+		PaymentMu:         mcfg.PaymentMu,
+		PaymentSigma:      mcfg.PaymentSigma,
+		AccuracyMean:      mcfg.AccuracyMean,
+		AccuracyStd:       mcfg.AccuracyStd,
+		InterestSpecialty: mcfg.InterestSpecialty,
+		DifficultyMax:     mcfg.DifficultyMax,
+		ReservationFrac:   mcfg.ReservationFrac,
+	}, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	r := stats.NewRNG(seed ^ 0xabcdef12345)
+	state, err := NewState(mcfg.NumCategories)
+	if err != nil {
+		return nil, err
+	}
+	var events []Event
+	var liveWorkers, liveTasks []int
+	nextW, nextT := 0, 0
+	emit := func(e Event) error {
+		applied, err := state.Apply(e)
+		if err != nil {
+			return err
+		}
+		events = append(events, applied)
+		return nil
+	}
+	round := 0
+	for i := 0; i < cfg.Events; i++ {
+		removal := r.Bool(churn) && (len(liveWorkers) > 0 || len(liveTasks) > 0)
+		switch {
+		case removal && len(liveWorkers) > 0 && (len(liveTasks) == 0 || r.Bool(0.5)):
+			k := r.Intn(len(liveWorkers))
+			if err := emit(NewWorkerLeft(liveWorkers[k])); err != nil {
+				return nil, err
+			}
+			liveWorkers = append(liveWorkers[:k], liveWorkers[k+1:]...)
+		case removal && len(liveTasks) > 0:
+			k := r.Intn(len(liveTasks))
+			if err := emit(NewTaskClosed(liveTasks[k])); err != nil {
+				return nil, err
+			}
+			liveTasks = append(liveTasks[:k], liveTasks[k+1:]...)
+		case r.Bool(0.5) && nextW < len(pool.Workers):
+			w := pool.Workers[nextW]
+			nextW++
+			if err := emit(NewWorkerJoined(w)); err != nil {
+				return nil, err
+			}
+			liveWorkers = append(liveWorkers, events[len(events)-1].Worker.ID)
+		case nextT < len(pool.Tasks):
+			t := pool.Tasks[nextT]
+			nextT++
+			if err := emit(NewTaskPosted(t)); err != nil {
+				return nil, err
+			}
+			liveTasks = append(liveTasks, events[len(events)-1].Task.ID)
+		}
+		if cfg.RoundEvery > 0 && (i+1)%cfg.RoundEvery == 0 {
+			if err := emit(NewRoundClosed(round)); err != nil {
+				return nil, err
+			}
+			round++
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,120 @@
+package platform
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/market"
+)
+
+func traceCfg(events int) TraceConfig {
+	return TraceConfig{
+		Market:     market.FreelanceTraceConfig(0, 0),
+		Events:     events,
+		RoundEvery: 20,
+	}
+}
+
+func TestSyntheticTraceReplays(t *testing.T) {
+	events, err := SyntheticTrace(traceCfg(200), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 200 {
+		t.Fatalf("only %d events", len(events))
+	}
+	state, err := Replay(30, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, tk := state.Counts()
+	if w == 0 && tk == 0 {
+		t.Fatal("trace left an empty market")
+	}
+	if state.Rounds() != 10 {
+		t.Fatalf("rounds = %d, want 10", state.Rounds())
+	}
+	in, _, _ := state.Snapshot()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("replayed snapshot invalid: %v", err)
+	}
+}
+
+func TestSyntheticTraceDeterministic(t *testing.T) {
+	a, err := SyntheticTrace(traceCfg(100), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticTrace(traceCfg(100), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Seq != b[i].Seq {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestSyntheticTraceHasChurn(t *testing.T) {
+	events, err := SyntheticTrace(TraceConfig{
+		Market: market.MicrotaskTraceConfig(0, 0), Events: 300, ChurnProb: 0.4,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[EventWorkerLeft] == 0 || kinds[EventTaskClosed] == 0 {
+		t.Fatalf("no churn in trace: %v", kinds)
+	}
+	if kinds[EventWorkerJoined] == 0 || kinds[EventTaskPosted] == 0 {
+		t.Fatalf("no arrivals in trace: %v", kinds)
+	}
+}
+
+func TestSyntheticTraceValidation(t *testing.T) {
+	if _, err := SyntheticTrace(TraceConfig{Events: 0}, 1); err == nil {
+		t.Fatal("zero events accepted")
+	}
+	if _, err := SyntheticTrace(TraceConfig{Events: 10, ChurnProb: 1.5}, 1); err == nil {
+		t.Fatal("churn >= 1 accepted")
+	}
+}
+
+func TestSyntheticTraceThroughLogAndService(t *testing.T) {
+	// End-to-end: trace → log → replay → assignment round.
+	events, err := SyntheticTrace(traceCfg(150), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	l := NewLog(&buf)
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, err := ReplayLog(30, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(state, core.Greedy{Kind: core.MutualWeight}, benefit.DefaultParams(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, tk := state.Counts(); w > 0 && tk > 0 && len(res.Pairs) == 0 {
+		t.Fatal("populated market but empty assignment")
+	}
+}

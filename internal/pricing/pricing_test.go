@@ -1,0 +1,163 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/market"
+)
+
+func testInstance(seed uint64) *market.Instance {
+	return market.MustGenerate(market.FreelanceTraceConfig(80, 60), seed)
+}
+
+func TestScalePayments(t *testing.T) {
+	in := testInstance(1)
+	out := ScalePayments(in, 2)
+	for j := range in.Tasks {
+		if math.Abs(out.Tasks[j].Payment-2*in.Tasks[j].Payment) > 1e-12 {
+			t.Fatalf("task %d not doubled", j)
+		}
+	}
+	if math.Abs(out.MaxPayment-2*in.MaxPayment) > 1e-9 {
+		t.Fatalf("MaxPayment %v vs %v", out.MaxPayment, in.MaxPayment)
+	}
+	// Original untouched.
+	if in.Tasks[0].Payment == out.Tasks[0].Payment && in.Tasks[0].Payment != 0 {
+		t.Fatal("original mutated")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalePaymentsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ScalePayments(testInstance(1), -1)
+}
+
+func TestSurplusFractionMonotoneInMultiplier(t *testing.T) {
+	in := testInstance(2)
+	prev := -1.0
+	for _, m := range []float64{0.25, 0.5, 1, 2, 4} {
+		f := SurplusFraction(ScalePayments(in, m))
+		if f < prev-1e-12 {
+			t.Fatalf("surplus not monotone at multiplier %v: %v < %v", m, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("surplus %v out of range", f)
+		}
+		prev = f
+	}
+	if SurplusFraction(ScalePayments(in, 0)) != 0 {
+		t.Fatal("zero payments should have zero surplus")
+	}
+}
+
+func TestSurplusFractionEmptyMarket(t *testing.T) {
+	in := &market.Instance{Name: "empty", NumCategories: 1}
+	if SurplusFraction(in) != 0 {
+		t.Fatal("empty market surplus should be 0")
+	}
+}
+
+func TestMultiplierForSurplus(t *testing.T) {
+	in := testInstance(3)
+	target := 0.95
+	m, err := MultiplierForSurplus(in, target, 0.01, 50, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The found multiplier achieves the target…
+	if got := SurplusFraction(ScalePayments(in, m)); got < target {
+		t.Fatalf("multiplier %v gives %v < %v", m, got, target)
+	}
+	// …and a meaningfully smaller one does not (minimality up to tol).
+	if got := SurplusFraction(ScalePayments(in, m*0.9)); got >= target {
+		t.Fatalf("0.9x multiplier still hits target: %v", got)
+	}
+}
+
+func TestMultiplierForSurplusErrors(t *testing.T) {
+	in := testInstance(4)
+	if _, err := MultiplierForSurplus(in, 1.5, 0.1, 10, 0); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if _, err := MultiplierForSurplus(in, 0.5, 5, 1, 0); err == nil {
+		t.Fatal("bad bracket accepted")
+	}
+	// Workers with reservation wages above every scaled payment: target 1.0
+	// may be unreachable at a tiny hi.
+	if _, err := MultiplierForSurplus(in, 1.0, 0.0001, 0.0002, 0); err == nil {
+		t.Fatal("unreachable target accepted")
+	}
+}
+
+func dynCfg() dynamics.Config {
+	return dynamics.Config{
+		Rounds: 8,
+		Market: market.Config{NumWorkers: 60, NumTasks: 40},
+		Params: benefit.DefaultParams(),
+		Solver: core.Greedy{Kind: core.MutualWeight},
+	}
+}
+
+func TestRetentionCurveShape(t *testing.T) {
+	curve, err := RetentionCurve(dynCfg(), []float64{0.25, 1, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for _, pt := range curve {
+		if pt.FinalParticipation < 0 || pt.FinalParticipation > 1 {
+			t.Fatalf("participation %v", pt.FinalParticipation)
+		}
+	}
+	// Paying 16x more than baseline should not retain *fewer* workers than
+	// paying a quarter (allowing simulation noise via a margin).
+	if curve[2].FinalParticipation < curve[0].FinalParticipation-0.1 {
+		t.Fatalf("higher pay retained clearly fewer workers: %+v", curve)
+	}
+}
+
+func TestRetentionCurveRejectsNegative(t *testing.T) {
+	if _, err := RetentionCurve(dynCfg(), []float64{-1}, 1); err == nil {
+		t.Fatal("negative multiplier accepted")
+	}
+}
+
+func TestRecommendMultiplier(t *testing.T) {
+	cfg := dynCfg()
+	candidates := []float64{0.25, 0.5, 1, 2, 4, 8}
+	// A very low target must be satisfiable by the cheapest candidate that
+	// reaches it; verify minimality against the returned curve.
+	m, err := RecommendMultiplier(cfg, candidates, 0.1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range candidates {
+		if c == m {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recommended %v not among candidates", m)
+	}
+	// An impossible target errors.
+	if _, err := RecommendMultiplier(cfg, candidates, 1.01, 6); err == nil {
+		t.Fatal("impossible target accepted")
+	}
+	if _, err := RecommendMultiplier(cfg, nil, 0.5, 6); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Multi-class (k-ary) labels: real microtask campaigns rarely ask yes/no
+// questions — image categorisation, sentiment scales and entity types are
+// k-ary.  This file provides the k-ary counterparts of the binary pipeline:
+// simulation under the uniform-error model, plurality voting, and the
+// accuracy-weighted (oracle) plurality.
+//
+// The uniform-error model mirrors the binary benefit model: a worker with
+// effective accuracy a answers the true label with probability a and
+// otherwise picks one of the remaining k−1 labels uniformly.  That keeps
+// the market layer's single per-category accuracy meaningful for any k.
+
+// MultiAnswerSet is the k-ary analogue of AnswerSet.
+type MultiAnswerSet struct {
+	NumTasks   int
+	NumWorkers int
+	// NumLabels is k, the size of the label alphabet (≥ 2).
+	NumLabels int
+	// Truth[t] in [0, NumLabels) is the hidden label of task t.
+	Truth []int
+	// Answers[t] lists the collected answers for task t.
+	Answers [][]Answer
+}
+
+// SimulateMulti draws hidden k-ary truths uniformly and simulates every
+// vote under the uniform-error model.
+func SimulateMulti(numWorkers, numTasks, numLabels int, votes []Vote, r *stats.RNG) (*MultiAnswerSet, error) {
+	if numWorkers < 0 || numTasks < 0 {
+		return nil, fmt.Errorf("quality: negative sizes")
+	}
+	if numLabels < 2 {
+		return nil, fmt.Errorf("quality: need at least 2 labels, got %d", numLabels)
+	}
+	as := &MultiAnswerSet{
+		NumTasks:   numTasks,
+		NumWorkers: numWorkers,
+		NumLabels:  numLabels,
+		Truth:      make([]int, numTasks),
+		Answers:    make([][]Answer, numTasks),
+	}
+	for t := range as.Truth {
+		as.Truth[t] = r.Intn(numLabels)
+	}
+	for _, v := range votes {
+		if v.Worker < 0 || v.Worker >= numWorkers {
+			return nil, fmt.Errorf("quality: vote worker %d out of range", v.Worker)
+		}
+		if v.Task < 0 || v.Task >= numTasks {
+			return nil, fmt.Errorf("quality: vote task %d out of range", v.Task)
+		}
+		if v.Acc < 0 || v.Acc > 1 {
+			return nil, fmt.Errorf("quality: vote accuracy %v out of range", v.Acc)
+		}
+		label := as.Truth[v.Task]
+		if !r.Bool(v.Acc) {
+			// Uniform error over the k−1 wrong labels.
+			wrong := r.Intn(numLabels - 1)
+			if wrong >= label {
+				wrong++
+			}
+			label = wrong
+		}
+		as.Answers[v.Task] = append(as.Answers[v.Task], Answer{Worker: v.Worker, Label: label, Acc: v.Acc})
+	}
+	return as, nil
+}
+
+// PluralityVote aggregates by most-voted label; ties (and empty panels)
+// are broken uniformly at random among the tied labels via r.
+func PluralityVote(as *MultiAnswerSet, r *stats.RNG) []int {
+	out := make([]int, as.NumTasks)
+	counts := make([]int, as.NumLabels)
+	for t, answers := range as.Answers {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, a := range answers {
+			counts[a.Label]++
+		}
+		out[t] = argmaxRandomTie(counts, r)
+	}
+	return out
+}
+
+// WeightedPlurality aggregates with the Bayes-optimal per-answer weights of
+// the uniform-error model: an answer with accuracy a contributes
+// log(a·(k−1)/(1−a)) to its label's score.  As in the binary case this is
+// the oracle reference (true accuracies assumed known).
+func WeightedPlurality(as *MultiAnswerSet, r *stats.RNG) []int {
+	out := make([]int, as.NumTasks)
+	scores := make([]float64, as.NumLabels)
+	k := float64(as.NumLabels)
+	for t, answers := range as.Answers {
+		for i := range scores {
+			scores[i] = 0
+		}
+		for _, a := range answers {
+			acc := math.Min(0.99, math.Max(1/k+0.01, a.Acc))
+			w := math.Log(acc * (k - 1) / (1 - acc))
+			scores[a.Label] += w
+		}
+		out[t] = argmaxFloatRandomTie(scores, r)
+	}
+	return out
+}
+
+// MultiAccuracy is the k-ary analogue of Accuracy.
+func MultiAccuracy(as *MultiAnswerSet, pred []int, onlyAnswered bool) float64 {
+	if len(pred) != as.NumTasks {
+		panic("quality: prediction length mismatch")
+	}
+	correct, total := 0, 0
+	for t := range pred {
+		if onlyAnswered && len(as.Answers[t]) == 0 {
+			continue
+		}
+		total++
+		if pred[t] == as.Truth[t] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PluralityCorrectProb returns the probability that plurality voting over n
+// independent answers with common accuracy a (uniform-error, k labels)
+// recovers the truth, estimated by Monte Carlo with the given number of
+// trials.  It is the k-ary counterpart of benefit.MajorityCorrectProb
+// (whose exact DP does not generalise cheaply past k = 2) and exists for
+// calibration studies of replication levels.
+func PluralityCorrectProb(n, k int, a float64, trials int, r *stats.RNG) float64 {
+	if n <= 0 || k < 2 || trials <= 0 {
+		panic("quality: bad PluralityCorrectProb arguments")
+	}
+	counts := make([]int, k)
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			if r.Bool(a) {
+				counts[0]++ // truth fixed at label 0 wlog
+			} else {
+				counts[1+r.Intn(k-1)]++
+			}
+		}
+		if argmaxRandomTie(counts, r) == 0 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// argmaxRandomTie returns the index of the maximum, breaking ties uniformly.
+func argmaxRandomTie(counts []int, r *stats.RNG) int {
+	best, nTies := 0, 1
+	for i := 1; i < len(counts); i++ {
+		switch {
+		case counts[i] > counts[best]:
+			best, nTies = i, 1
+		case counts[i] == counts[best]:
+			nTies++
+			// Reservoir-style uniform choice among ties.
+			if r.Intn(nTies) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// argmaxFloatRandomTie is argmaxRandomTie over float scores.
+func argmaxFloatRandomTie(scores []float64, r *stats.RNG) int {
+	best, nTies := 0, 1
+	for i := 1; i < len(scores); i++ {
+		switch {
+		case scores[i] > scores[best]:
+			best, nTies = i, 1
+		case scores[i] == scores[best]:
+			nTies++
+			if r.Intn(nTies) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,224 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func multiPanelVotes(n, m int, acc float64) []Vote {
+	var votes []Vote
+	for w := 0; w < n; w++ {
+		for t := 0; t < m; t++ {
+			votes = append(votes, Vote{Worker: w, Task: t, Acc: acc})
+		}
+	}
+	return votes
+}
+
+func TestSimulateMultiShape(t *testing.T) {
+	r := stats.NewRNG(1)
+	as, err := SimulateMulti(3, 10, 5, multiPanelVotes(3, 10, 0.8), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.NumLabels != 5 {
+		t.Fatal("labels wrong")
+	}
+	for tt, truth := range as.Truth {
+		if truth < 0 || truth >= 5 {
+			t.Fatalf("truth %d out of range", truth)
+		}
+		for _, a := range as.Answers[tt] {
+			if a.Label < 0 || a.Label >= 5 {
+				t.Fatalf("label %d out of range", a.Label)
+			}
+		}
+	}
+}
+
+func TestSimulateMultiValidation(t *testing.T) {
+	r := stats.NewRNG(2)
+	if _, err := SimulateMulti(2, 2, 1, nil, r); err == nil {
+		t.Fatal("single-label alphabet accepted")
+	}
+	if _, err := SimulateMulti(2, 2, 3, []Vote{{Worker: 9, Task: 0, Acc: 0.5}}, r); err == nil {
+		t.Fatal("bad worker accepted")
+	}
+}
+
+func TestSimulateMultiErrorModel(t *testing.T) {
+	// With accuracy a and k labels, the empirical correct rate must be ~a
+	// and errors must spread over all wrong labels.
+	r := stats.NewRNG(3)
+	const k, tasks, acc = 4, 30000, 0.7
+	as, err := SimulateMulti(1, tasks, k, multiPanelVotes(1, tasks, acc), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	wrongSpread := map[int]int{}
+	for tt, answers := range as.Answers {
+		if answers[0].Label == as.Truth[tt] {
+			correct++
+		} else {
+			// Record the wrong label's offset from the truth (mod k).
+			wrongSpread[(answers[0].Label-as.Truth[tt]+k)%k]++
+		}
+	}
+	if got := float64(correct) / tasks; math.Abs(got-acc) > 0.01 {
+		t.Fatalf("correct rate %v, want ~%v", got, acc)
+	}
+	if len(wrongSpread) != k-1 {
+		t.Fatalf("errors not spread over all wrong labels: %v", wrongSpread)
+	}
+}
+
+func TestPluralityVoteUnanimous(t *testing.T) {
+	as := &MultiAnswerSet{
+		NumTasks: 1, NumWorkers: 3, NumLabels: 4,
+		Truth:   []int{2},
+		Answers: [][]Answer{{{0, 2, 0.8}, {1, 2, 0.8}, {2, 1, 0.8}}},
+	}
+	pred := PluralityVote(as, stats.NewRNG(1))
+	if pred[0] != 2 {
+		t.Fatalf("pred = %v", pred)
+	}
+	if MultiAccuracy(as, pred, false) != 1 {
+		t.Fatal("accuracy wrong")
+	}
+}
+
+func TestWeightedPluralityTrustsExperts(t *testing.T) {
+	// Two weak voters on label 0 vs one strong voter on label 1.
+	as := &MultiAnswerSet{
+		NumTasks: 1, NumWorkers: 3, NumLabels: 3,
+		Truth:   []int{1},
+		Answers: [][]Answer{{{0, 0, 0.4}, {1, 0, 0.4}, {2, 1, 0.99}}},
+	}
+	r := stats.NewRNG(1)
+	if pred := WeightedPlurality(as, r); pred[0] != 1 {
+		t.Fatalf("weighted plurality ignored the expert: %v", pred)
+	}
+}
+
+func TestMultiAggregatorsAccuracyOrdering(t *testing.T) {
+	r := stats.NewRNG(4)
+	const tasks, k = 3000, 4
+	accs := []float64{0.4, 0.45, 0.5, 0.9, 0.95}
+	var votes []Vote
+	for w, a := range accs {
+		for tt := 0; tt < tasks; tt++ {
+			votes = append(votes, Vote{Worker: w, Task: tt, Acc: a})
+		}
+	}
+	as, err := SimulateMulti(len(accs), tasks, k, votes, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := MultiAccuracy(as, PluralityVote(as, r), false)
+	wv := MultiAccuracy(as, WeightedPlurality(as, r), false)
+	if wv < pv-0.005 {
+		t.Fatalf("weighted %v below plurality %v", wv, pv)
+	}
+	// Note 0.4 accuracy is still far above the 1/k=0.25 chance floor, so
+	// even plurality should beat a lone expert-free crowd baseline of ~0.5.
+	if pv < 0.6 {
+		t.Fatalf("plurality implausibly low: %v", pv)
+	}
+}
+
+func TestPluralityCorrectProbCalibration(t *testing.T) {
+	r := stats.NewRNG(5)
+	// More voters help; more labels make the problem easier at fixed
+	// accuracy (wrong votes split across more alternatives).
+	p3 := PluralityCorrectProb(3, 3, 0.6, 20000, r)
+	p9 := PluralityCorrectProb(9, 3, 0.6, 20000, r)
+	if p9 <= p3 {
+		t.Fatalf("more voters did not help: %v vs %v", p9, p3)
+	}
+	k2 := PluralityCorrectProb(5, 2, 0.6, 20000, r)
+	k6 := PluralityCorrectProb(5, 6, 0.6, 20000, r)
+	if k6 <= k2 {
+		t.Fatalf("error splitting did not help: k=6 %v vs k=2 %v", k6, k2)
+	}
+}
+
+func TestPluralityCorrectProbPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PluralityCorrectProb(0, 3, 0.5, 10, stats.NewRNG(1)) },
+		func() { PluralityCorrectProb(3, 1, 0.5, 10, stats.NewRNG(1)) },
+		func() { PluralityCorrectProb(3, 3, 0.5, 0, stats.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: with k = 2 the k-ary pipeline agrees with the binary one in
+// distribution — plurality accuracy over a common-accuracy panel matches
+// the exact binary majority probability.
+func TestMultiBinaryConsistency(t *testing.T) {
+	r := stats.NewRNG(6)
+	const tasks, n, acc = 20000, 3, 0.75
+	var votes []Vote
+	for w := 0; w < n; w++ {
+		for tt := 0; tt < tasks; tt++ {
+			votes = append(votes, Vote{Worker: w, Task: tt, Acc: acc})
+		}
+	}
+	as, err := SimulateMulti(n, tasks, 2, votes, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MultiAccuracy(as, PluralityVote(as, r), false)
+	// Exact binary 3-voter majority: a³ + 3a²(1−a) = 0.84375.
+	want := 0.84375
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("k=2 plurality accuracy %v, binary theory %v", got, want)
+	}
+}
+
+// Property: predictions are always valid labels.
+func TestQuickMultiWellFormed(t *testing.T) {
+	f := func(seed uint64, kRaw, nRaw uint8) bool {
+		k := int(kRaw%6) + 2
+		n := int(nRaw%5) + 1
+		r := stats.NewRNG(seed)
+		const tasks = 30
+		var votes []Vote
+		for w := 0; w < n; w++ {
+			for tt := 0; tt < tasks; tt++ {
+				if r.Bool(0.7) {
+					votes = append(votes, Vote{Worker: w, Task: tt, Acc: r.Float64()})
+				}
+			}
+		}
+		as, err := SimulateMulti(n, tasks, k, votes, r)
+		if err != nil {
+			return false
+		}
+		for _, pred := range [][]int{PluralityVote(as, r), WeightedPlurality(as, r)} {
+			if len(pred) != tasks {
+				return false
+			}
+			for _, v := range pred {
+				if v < 0 || v >= k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

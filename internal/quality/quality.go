@@ -1,0 +1,262 @@
+// Package quality closes the crowdsourcing loop the paper's abstract opens
+// with ("question design, task assignment, answer aggregation"): it
+// simulates worker answers for an assignment and aggregates them back into
+// task labels, so the evaluation can report *end-to-end* answer accuracy per
+// assignment algorithm (R-Fig12) rather than only the abstract benefit
+// objective.
+//
+// Tasks are modelled as binary questions with a hidden ground-truth label.
+// Each assigned worker answers correctly with their effective accuracy for
+// that task.  Three aggregators are provided:
+//
+//	MajorityVote  — one worker one vote, ties broken by the caller's RNG;
+//	WeightedVote  — log-odds weighting with known accuracies (the oracle
+//	                upper bound of accuracy-aware aggregation);
+//	EM            — Dawid–Skene-style expectation maximisation for the
+//	                binary symmetric model: accuracies are *estimated* from
+//	                the answer matrix, labels and accuracies refined
+//	                together.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Vote is one worker's answer slot for one task, carrying the true
+// effective accuracy used for simulation (and for oracle weighting).
+type Vote struct {
+	Worker int
+	Task   int
+	// Acc is the probability this worker answers this task correctly.
+	Acc float64
+}
+
+// AnswerSet is the simulated outcome of one assignment: hidden truth plus
+// every collected answer.
+type AnswerSet struct {
+	NumTasks   int
+	NumWorkers int
+	// Truth[t] is the hidden ground-truth label of task t (0 or 1).
+	Truth []int
+	// Answers[t] lists the answers collected for task t.
+	Answers [][]Answer
+}
+
+// Answer is a single collected label.
+type Answer struct {
+	Worker int
+	Label  int
+	// Acc is the answering worker's true effective accuracy on this task;
+	// only WeightedVote's oracle mode reads it.
+	Acc float64
+}
+
+// Simulate draws hidden truths uniformly and simulates every vote.  Votes
+// must reference workers in [0, numWorkers) and tasks in [0, numTasks);
+// it returns an error otherwise.
+func Simulate(numWorkers, numTasks int, votes []Vote, r *stats.RNG) (*AnswerSet, error) {
+	if numWorkers < 0 || numTasks < 0 {
+		return nil, fmt.Errorf("quality: negative sizes")
+	}
+	as := &AnswerSet{
+		NumTasks:   numTasks,
+		NumWorkers: numWorkers,
+		Truth:      make([]int, numTasks),
+		Answers:    make([][]Answer, numTasks),
+	}
+	for t := range as.Truth {
+		if r.Bool(0.5) {
+			as.Truth[t] = 1
+		}
+	}
+	for _, v := range votes {
+		if v.Worker < 0 || v.Worker >= numWorkers {
+			return nil, fmt.Errorf("quality: vote worker %d out of range", v.Worker)
+		}
+		if v.Task < 0 || v.Task >= numTasks {
+			return nil, fmt.Errorf("quality: vote task %d out of range", v.Task)
+		}
+		if v.Acc < 0 || v.Acc > 1 {
+			return nil, fmt.Errorf("quality: vote accuracy %v out of range", v.Acc)
+		}
+		label := as.Truth[v.Task]
+		if !r.Bool(v.Acc) {
+			label = 1 - label
+		}
+		as.Answers[v.Task] = append(as.Answers[v.Task], Answer{Worker: v.Worker, Label: label, Acc: v.Acc})
+	}
+	return as, nil
+}
+
+// MajorityVote aggregates by simple majority; ties (and empty panels) are
+// broken uniformly at random via r.
+func MajorityVote(as *AnswerSet, r *stats.RNG) []int {
+	out := make([]int, as.NumTasks)
+	for t, answers := range as.Answers {
+		ones := 0
+		for _, a := range answers {
+			ones += a.Label
+		}
+		zeros := len(answers) - ones
+		switch {
+		case ones > zeros:
+			out[t] = 1
+		case zeros > ones:
+			out[t] = 0
+		default:
+			if r.Bool(0.5) {
+				out[t] = 1
+			}
+		}
+	}
+	return out
+}
+
+// WeightedVote aggregates with the Bayes-optimal log-odds weights computed
+// from each answer's true accuracy — the oracle reference showing how much
+// headroom accuracy-aware aggregation has over plain majority.  Accuracies
+// are clamped into [0.01, 0.99] to keep the weights finite.
+func WeightedVote(as *AnswerSet, r *stats.RNG) []int {
+	out := make([]int, as.NumTasks)
+	for t, answers := range as.Answers {
+		score := 0.0 // positive favours label 1
+		for _, a := range answers {
+			acc := math.Min(0.99, math.Max(0.01, a.Acc))
+			w := math.Log(acc / (1 - acc))
+			if a.Label == 1 {
+				score += w
+			} else {
+				score -= w
+			}
+		}
+		switch {
+		case score > 0:
+			out[t] = 1
+		case score < 0:
+			out[t] = 0
+		default:
+			if r.Bool(0.5) {
+				out[t] = 1
+			}
+		}
+	}
+	return out
+}
+
+// EM aggregates with expectation maximisation under the one-coin
+// Dawid–Skene model: every worker has a single unknown accuracy, labels are
+// binary.  It returns the inferred labels and the per-worker accuracy
+// estimates (0.5 for workers with no answers).  iters bounds the EM
+// rounds; 0 means the default 20, convergence typically happens well
+// before.
+func EM(as *AnswerSet, iters int, r *stats.RNG) ([]int, []float64) {
+	if iters <= 0 {
+		iters = 20
+	}
+	// Posterior P(truth_t = 1), initialised from the unweighted vote share.
+	post := make([]float64, as.NumTasks)
+	for t, answers := range as.Answers {
+		if len(answers) == 0 {
+			post[t] = 0.5
+			continue
+		}
+		ones := 0
+		for _, a := range answers {
+			ones += a.Label
+		}
+		post[t] = float64(ones) / float64(len(answers))
+	}
+	acc := make([]float64, as.NumWorkers)
+
+	for iter := 0; iter < iters; iter++ {
+		// M-step: worker accuracy = expected fraction of agreements with the
+		// current soft labels, with add-one smoothing to avoid 0/1 locks.
+		agree := make([]float64, as.NumWorkers)
+		count := make([]float64, as.NumWorkers)
+		for t, answers := range as.Answers {
+			for _, a := range answers {
+				p := post[t]
+				if a.Label == 1 {
+					agree[a.Worker] += p
+				} else {
+					agree[a.Worker] += 1 - p
+				}
+				count[a.Worker]++
+			}
+		}
+		for w := range acc {
+			if count[w] == 0 {
+				acc[w] = 0.5
+				continue
+			}
+			acc[w] = (agree[w] + 1) / (count[w] + 2)
+			// The one-coin symmetric model cannot distinguish an adversary
+			// from an expert; pin estimates to the informative side, matching
+			// the market model's "never worse than a coin flip" invariant.
+			if acc[w] < 0.5 {
+				acc[w] = 0.5
+			} else if acc[w] > 0.99 {
+				acc[w] = 0.99
+			}
+		}
+		// E-step: recompute posteriors with the new accuracies.
+		for t, answers := range as.Answers {
+			if len(answers) == 0 {
+				post[t] = 0.5
+				continue
+			}
+			logOdds := 0.0
+			for _, a := range answers {
+				w := math.Log(acc[a.Worker] / (1 - acc[a.Worker]))
+				if a.Label == 1 {
+					logOdds += w
+				} else {
+					logOdds -= w
+				}
+			}
+			post[t] = 1 / (1 + math.Exp(-logOdds))
+		}
+	}
+
+	out := make([]int, as.NumTasks)
+	for t, p := range post {
+		switch {
+		case p > 0.5:
+			out[t] = 1
+		case p < 0.5:
+			out[t] = 0
+		default:
+			if r.Bool(0.5) {
+				out[t] = 1
+			}
+		}
+	}
+	return out, acc
+}
+
+// Accuracy returns the fraction of tasks whose predicted label matches the
+// truth, restricted to tasks that received at least one answer when
+// onlyAnswered is set (unanswered tasks are coin flips and would wash out
+// the comparison between aggregators).
+func Accuracy(as *AnswerSet, pred []int, onlyAnswered bool) float64 {
+	if len(pred) != as.NumTasks {
+		panic("quality: prediction length mismatch")
+	}
+	correct, total := 0, 0
+	for t := range pred {
+		if onlyAnswered && len(as.Answers[t]) == 0 {
+			continue
+		}
+		total++
+		if pred[t] == as.Truth[t] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,256 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// panelVotes builds votes assigning each of n workers (with the given
+// accuracy) to every one of m tasks.
+func panelVotes(n, m int, acc float64) []Vote {
+	var votes []Vote
+	for w := 0; w < n; w++ {
+		for t := 0; t < m; t++ {
+			votes = append(votes, Vote{Worker: w, Task: t, Acc: acc})
+		}
+	}
+	return votes
+}
+
+func TestSimulateShape(t *testing.T) {
+	r := stats.NewRNG(1)
+	as, err := Simulate(3, 5, panelVotes(3, 5, 0.8), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.NumTasks != 5 || as.NumWorkers != 3 || len(as.Truth) != 5 {
+		t.Fatal("shape wrong")
+	}
+	for tt, answers := range as.Answers {
+		if len(answers) != 3 {
+			t.Fatalf("task %d has %d answers", tt, len(answers))
+		}
+		for _, a := range answers {
+			if a.Label != 0 && a.Label != 1 {
+				t.Fatalf("label %d", a.Label)
+			}
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	r := stats.NewRNG(2)
+	if _, err := Simulate(-1, 2, nil, r); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := Simulate(2, 2, []Vote{{Worker: 5, Task: 0, Acc: 0.7}}, r); err == nil {
+		t.Fatal("bad worker accepted")
+	}
+	if _, err := Simulate(2, 2, []Vote{{Worker: 0, Task: 9, Acc: 0.7}}, r); err == nil {
+		t.Fatal("bad task accepted")
+	}
+	if _, err := Simulate(2, 2, []Vote{{Worker: 0, Task: 0, Acc: 1.5}}, r); err == nil {
+		t.Fatal("bad accuracy accepted")
+	}
+}
+
+func TestSimulateAnswerAccuracyMatchesModel(t *testing.T) {
+	r := stats.NewRNG(3)
+	const acc = 0.8
+	as, err := Simulate(1, 20000, panelVotes(1, 20000, acc), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for tt, answers := range as.Answers {
+		if answers[0].Label == as.Truth[tt] {
+			correct++
+		}
+	}
+	got := float64(correct) / 20000
+	if math.Abs(got-acc) > 0.01 {
+		t.Fatalf("empirical accuracy %v, want ~%v", got, acc)
+	}
+}
+
+func TestMajorityVoteUnanimous(t *testing.T) {
+	as := &AnswerSet{
+		NumTasks: 2, NumWorkers: 3,
+		Truth: []int{1, 0},
+		Answers: [][]Answer{
+			{{0, 1, 0.8}, {1, 1, 0.8}, {2, 1, 0.8}},
+			{{0, 0, 0.8}, {1, 0, 0.8}, {2, 1, 0.8}},
+		},
+	}
+	pred := MajorityVote(as, stats.NewRNG(1))
+	if pred[0] != 1 || pred[1] != 0 {
+		t.Fatalf("pred = %v", pred)
+	}
+	if Accuracy(as, pred, false) != 1 {
+		t.Fatal("accuracy should be 1")
+	}
+}
+
+func TestWeightedVoteTrustsExperts(t *testing.T) {
+	// Two weak wrong votes vs one strong right vote: weighted vote should
+	// side with the expert while the majority goes wrong.
+	as := &AnswerSet{
+		NumTasks: 1, NumWorkers: 3,
+		Truth: []int{1},
+		Answers: [][]Answer{
+			{{0, 0, 0.55}, {1, 0, 0.55}, {2, 1, 0.99}},
+		},
+	}
+	r := stats.NewRNG(1)
+	if pred := MajorityVote(as, r); pred[0] != 0 {
+		t.Fatalf("majority should be fooled, got %v", pred)
+	}
+	if pred := WeightedVote(as, r); pred[0] != 1 {
+		t.Fatalf("weighted vote should trust the expert, got %v", pred)
+	}
+}
+
+func TestAggregatorsOrderedByInformation(t *testing.T) {
+	// On a heterogeneous crowd, oracle-weighted ≥ majority on average, and
+	// EM lands between (or above majority at least).
+	r := stats.NewRNG(4)
+	const tasks = 2000
+	var votes []Vote
+	accs := []float64{0.55, 0.6, 0.65, 0.9, 0.95}
+	for w, a := range accs {
+		for tt := 0; tt < tasks; tt++ {
+			votes = append(votes, Vote{Worker: w, Task: tt, Acc: a})
+		}
+	}
+	as, err := Simulate(len(accs), tasks, votes, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := Accuracy(as, MajorityVote(as, r), false)
+	wv := Accuracy(as, WeightedVote(as, r), false)
+	emPred, _ := EM(as, 0, r)
+	em := Accuracy(as, emPred, false)
+	if wv < mv-0.005 {
+		t.Fatalf("weighted %v below majority %v", wv, mv)
+	}
+	if em < mv-0.005 {
+		t.Fatalf("EM %v clearly below majority %v", em, mv)
+	}
+	if wv < 0.9 {
+		t.Fatalf("oracle weighting only reached %v", wv)
+	}
+}
+
+func TestEMRecoversWorkerAccuracy(t *testing.T) {
+	r := stats.NewRNG(5)
+	const tasks = 3000
+	accs := []float64{0.6, 0.75, 0.95}
+	var votes []Vote
+	for w, a := range accs {
+		for tt := 0; tt < tasks; tt++ {
+			votes = append(votes, Vote{Worker: w, Task: tt, Acc: a})
+		}
+	}
+	as, err := Simulate(len(accs), tasks, votes, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, est := EM(as, 0, r)
+	for w, a := range accs {
+		if math.Abs(est[w]-a) > 0.08 {
+			t.Errorf("worker %d: estimated %v, true %v", w, est[w], a)
+		}
+	}
+	// Ordering must be recovered exactly.
+	if !(est[0] < est[1] && est[1] < est[2]) {
+		t.Fatalf("accuracy ordering lost: %v", est)
+	}
+}
+
+func TestEMIdleWorkerDefaults(t *testing.T) {
+	as := &AnswerSet{
+		NumTasks: 1, NumWorkers: 2,
+		Truth:   []int{1},
+		Answers: [][]Answer{{{0, 1, 0.9}}},
+	}
+	_, est := EM(as, 5, stats.NewRNG(1))
+	if est[1] != 0.5 {
+		t.Fatalf("idle worker accuracy = %v, want 0.5", est[1])
+	}
+}
+
+func TestEmptyPanelsAreCoinFlips(t *testing.T) {
+	as := &AnswerSet{
+		NumTasks: 400, NumWorkers: 1,
+		Truth:   make([]int, 400),
+		Answers: make([][]Answer, 400),
+	}
+	r := stats.NewRNG(6)
+	pred := MajorityVote(as, r)
+	acc := Accuracy(as, pred, false)
+	if acc < 0.4 || acc > 0.6 {
+		t.Fatalf("empty-panel accuracy %v not ~0.5", acc)
+	}
+	// onlyAnswered mode excludes them entirely.
+	if got := Accuracy(as, pred, true); got != 0 {
+		t.Fatalf("onlyAnswered accuracy over empty set = %v, want 0", got)
+	}
+}
+
+func TestAccuracyPanicsOnLengthMismatch(t *testing.T) {
+	as := &AnswerSet{NumTasks: 2, Truth: []int{0, 1}, Answers: make([][]Answer, 2)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatch")
+		}
+	}()
+	Accuracy(as, []int{0}, false)
+}
+
+// Property: aggregated labels are always binary and accuracy is in [0,1].
+func TestQuickAggregatorsWellFormed(t *testing.T) {
+	f := func(seed uint64, nw, nt uint8) bool {
+		numW := int(nw%6) + 1
+		numT := int(nt%20) + 1
+		r := stats.NewRNG(seed)
+		var votes []Vote
+		for w := 0; w < numW; w++ {
+			for tt := 0; tt < numT; tt++ {
+				if r.Bool(0.6) {
+					votes = append(votes, Vote{Worker: w, Task: tt, Acc: 0.5 + 0.49*r.Float64()})
+				}
+			}
+		}
+		as, err := Simulate(numW, numT, votes, r)
+		if err != nil {
+			return false
+		}
+		emPred, est := EM(as, 0, r)
+		for _, preds := range [][]int{MajorityVote(as, r), WeightedVote(as, r), emPred} {
+			if len(preds) != numT {
+				return false
+			}
+			for _, v := range preds {
+				if v != 0 && v != 1 {
+					return false
+				}
+			}
+			a := Accuracy(as, preds, false)
+			if a < 0 || a > 1 {
+				return false
+			}
+		}
+		for _, a := range est {
+			if a < 0.5 || a > 0.99 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package quality
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// EMTwoCoin aggregates with the full binary Dawid–Skene model: each worker
+// has *two* parameters — sensitivity P(answer 1 | truth 1) and specificity
+// P(answer 0 | truth 0) — instead of the single symmetric accuracy EM uses.
+// Workers whose errors are asymmetric (e.g. trigger-happy labellers that
+// over-report positives) are modelled correctly, which the one-coin model
+// cannot do.
+//
+// It returns the inferred labels and per-worker (sensitivity, specificity)
+// estimates; workers with no answers report (0.5, 0.5).  iters bounds the
+// EM rounds (0 = default 30); prior is the class prior P(truth = 1),
+// re-estimated each round from the posteriors.
+func EMTwoCoin(as *AnswerSet, iters int, r *stats.RNG) ([]int, [][2]float64) {
+	if iters <= 0 {
+		iters = 30
+	}
+	// Posterior P(truth_t = 1), initialised from vote share.
+	post := make([]float64, as.NumTasks)
+	for t, answers := range as.Answers {
+		if len(answers) == 0 {
+			post[t] = 0.5
+			continue
+		}
+		ones := 0
+		for _, a := range answers {
+			ones += a.Label
+		}
+		post[t] = float64(ones) / float64(len(answers))
+	}
+	sens := make([]float64, as.NumWorkers) // P(label 1 | truth 1)
+	spec := make([]float64, as.NumWorkers) // P(label 0 | truth 0)
+	prior := 0.5
+
+	for iter := 0; iter < iters; iter++ {
+		// M-step with add-one smoothing.
+		onesGivenPos := make([]float64, as.NumWorkers)
+		posMass := make([]float64, as.NumWorkers)
+		zerosGivenNeg := make([]float64, as.NumWorkers)
+		negMass := make([]float64, as.NumWorkers)
+		var priorSum float64
+		var priorN int
+		for t, answers := range as.Answers {
+			p := post[t]
+			if len(answers) > 0 {
+				priorSum += p
+				priorN++
+			}
+			for _, a := range answers {
+				posMass[a.Worker] += p
+				negMass[a.Worker] += 1 - p
+				if a.Label == 1 {
+					onesGivenPos[a.Worker] += p
+				} else {
+					zerosGivenNeg[a.Worker] += 1 - p
+				}
+			}
+		}
+		for w := 0; w < as.NumWorkers; w++ {
+			if posMass[w]+negMass[w] == 0 {
+				sens[w], spec[w] = 0.5, 0.5
+				continue
+			}
+			sens[w] = clamp01eps((onesGivenPos[w] + 1) / (posMass[w] + 2))
+			spec[w] = clamp01eps((zerosGivenNeg[w] + 1) / (negMass[w] + 2))
+		}
+		if priorN > 0 {
+			prior = clamp01eps(priorSum / float64(priorN))
+		}
+
+		// E-step: log-posterior with the asymmetric likelihoods.
+		for t, answers := range as.Answers {
+			if len(answers) == 0 {
+				post[t] = prior
+				continue
+			}
+			logOdds := math.Log(prior / (1 - prior))
+			for _, a := range answers {
+				if a.Label == 1 {
+					logOdds += math.Log(sens[a.Worker] / (1 - spec[a.Worker]))
+				} else {
+					logOdds += math.Log((1 - sens[a.Worker]) / spec[a.Worker])
+				}
+			}
+			post[t] = 1 / (1 + math.Exp(-logOdds))
+		}
+	}
+
+	out := make([]int, as.NumTasks)
+	params := make([][2]float64, as.NumWorkers)
+	for w := range params {
+		params[w] = [2]float64{sens[w], spec[w]}
+	}
+	for t, p := range post {
+		switch {
+		case p > 0.5:
+			out[t] = 1
+		case p < 0.5:
+			out[t] = 0
+		default:
+			if r.Bool(0.5) {
+				out[t] = 1
+			}
+		}
+	}
+	return out, params
+}
+
+// clamp01eps keeps probabilities strictly inside (0, 1) so log-odds stay
+// finite.
+func clamp01eps(p float64) float64 {
+	const eps = 0.01
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

@@ -1,0 +1,128 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// simulateAsymmetric builds an AnswerSet where each worker has separate
+// sensitivity/specificity, which Simulate's single-accuracy model cannot
+// express.
+func simulateAsymmetric(numTasks int, sens, spec []float64, r *stats.RNG) *AnswerSet {
+	as := &AnswerSet{
+		NumTasks:   numTasks,
+		NumWorkers: len(sens),
+		Truth:      make([]int, numTasks),
+		Answers:    make([][]Answer, numTasks),
+	}
+	for t := 0; t < numTasks; t++ {
+		if r.Bool(0.5) {
+			as.Truth[t] = 1
+		}
+		for w := range sens {
+			var label int
+			if as.Truth[t] == 1 {
+				if r.Bool(sens[w]) {
+					label = 1
+				}
+			} else {
+				if !r.Bool(spec[w]) {
+					label = 1
+				}
+			}
+			// Acc recorded as the balanced accuracy for the oracle baseline.
+			as.Answers[t] = append(as.Answers[t], Answer{
+				Worker: w, Label: label, Acc: (sens[w] + spec[w]) / 2,
+			})
+		}
+	}
+	return as
+}
+
+func TestEMTwoCoinRecoversAsymmetry(t *testing.T) {
+	r := stats.NewRNG(61)
+	// Worker 0: trigger-happy (high sensitivity, poor specificity);
+	// worker 1: conservative; worker 2: balanced expert.
+	sens := []float64{0.95, 0.60, 0.90}
+	spec := []float64{0.55, 0.95, 0.90}
+	as := simulateAsymmetric(4000, sens, spec, r)
+	_, params := EMTwoCoin(as, 0, r)
+	for w := range sens {
+		if math.Abs(params[w][0]-sens[w]) > 0.08 {
+			t.Errorf("worker %d sensitivity: est %v true %v", w, params[w][0], sens[w])
+		}
+		if math.Abs(params[w][1]-spec[w]) > 0.08 {
+			t.Errorf("worker %d specificity: est %v true %v", w, params[w][1], spec[w])
+		}
+	}
+}
+
+func TestEMTwoCoinBeatsOneCoinOnAsymmetricCrowd(t *testing.T) {
+	r := stats.NewRNG(62)
+	// A crowd of trigger-happy labellers: one-coin EM misestimates them,
+	// two-coin exploits the asymmetry.
+	sens := []float64{0.95, 0.9, 0.92, 0.88, 0.93}
+	spec := []float64{0.6, 0.55, 0.65, 0.6, 0.58}
+	as := simulateAsymmetric(3000, sens, spec, r)
+	oneCoinPred, _ := EM(as, 0, r)
+	twoCoinPred, _ := EMTwoCoin(as, 0, r)
+	one := Accuracy(as, oneCoinPred, false)
+	two := Accuracy(as, twoCoinPred, false)
+	if two <= one {
+		t.Fatalf("two-coin %v did not beat one-coin %v on asymmetric crowd", two, one)
+	}
+}
+
+func TestEMTwoCoinMatchesOneCoinOnSymmetricCrowd(t *testing.T) {
+	r := stats.NewRNG(63)
+	const tasks = 3000
+	accs := []float64{0.7, 0.8, 0.9}
+	var votes []Vote
+	for w, a := range accs {
+		for tt := 0; tt < tasks; tt++ {
+			votes = append(votes, Vote{Worker: w, Task: tt, Acc: a})
+		}
+	}
+	as, err := Simulate(len(accs), tasks, votes, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onePred, _ := EM(as, 0, r)
+	twoPred, _ := EMTwoCoin(as, 0, r)
+	one := Accuracy(as, onePred, false)
+	two := Accuracy(as, twoPred, false)
+	if math.Abs(one-two) > 0.02 {
+		t.Fatalf("symmetric crowd: one-coin %v vs two-coin %v diverged", one, two)
+	}
+}
+
+func TestEMTwoCoinIdleWorker(t *testing.T) {
+	as := &AnswerSet{
+		NumTasks: 1, NumWorkers: 2,
+		Truth:   []int{1},
+		Answers: [][]Answer{{{0, 1, 0.9}}},
+	}
+	_, params := EMTwoCoin(as, 5, stats.NewRNG(1))
+	if params[1][0] != 0.5 || params[1][1] != 0.5 {
+		t.Fatalf("idle worker params = %v", params[1])
+	}
+}
+
+func TestEMTwoCoinEmptyTasks(t *testing.T) {
+	as := &AnswerSet{
+		NumTasks: 3, NumWorkers: 1,
+		Truth:   []int{0, 1, 0},
+		Answers: make([][]Answer, 3),
+	}
+	pred, _ := EMTwoCoin(as, 5, stats.NewRNG(2))
+	if len(pred) != 3 {
+		t.Fatal("prediction length wrong")
+	}
+	for _, v := range pred {
+		if v != 0 && v != 1 {
+			t.Fatalf("non-binary label %d", v)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0.1)  // bin 0
+	h.Add(0.3)  // bin 1
+	h.Add(0.55) // bin 2
+	h.Add(0.99) // bin 3
+	want := []int{1, 1, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(-5)
+	h.Add(7)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramFrac(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	if h.Frac(0) != 0 {
+		t.Fatal("empty histogram frac should be 0")
+	}
+	h.Add(1)
+	h.Add(2)
+	h.Add(8)
+	if got := h.Frac(0); !almostEq(got, 2.0/3.0, 1e-12) {
+		t.Fatalf("Frac(0) = %v", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	for i := 0; i < 10; i++ {
+		h.Add(0.5)
+	}
+	s := h.String()
+	if !strings.Contains(s, "#") || strings.Count(s, "\n") != 3 {
+		t.Fatalf("unexpected render:\n%s", s)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		bins   int
+	}{{0, 1, 0}, {1, 0, 3}, {1, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", tc.lo, tc.hi, tc.bins)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.bins)
+		}()
+	}
+}

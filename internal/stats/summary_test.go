@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Sum != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 || s.Median != 3.5 {
+		t.Fatalf("bad single summary: %+v", s)
+	}
+	if s.Std != 0 {
+		t.Fatalf("single-element std = %v", s.Std)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Sum != 15 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almostEq(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 0.5); got != 5 {
+		t.Fatalf("P50 of {0,10} = %v", got)
+	}
+	if got := Percentile(sorted, 0); got != 0 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(sorted, 1); got != 10 {
+		t.Fatalf("P100 = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", p)
+				}
+			}()
+			Percentile([]float64{1}, p)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Percentile of empty did not panic")
+			}
+		}()
+		Percentile(nil, 0.5)
+	}()
+}
+
+func TestMeanSumStd(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if Mean(xs) != 4 || Sum(xs) != 12 {
+		t.Fatal("mean/sum wrong")
+	}
+	if Mean(nil) != 0 || Sum(nil) != 0 || Std(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Fatal("empty-case handling wrong")
+	}
+	if !almostEq(Std(xs), 2, 1e-12) {
+		t.Fatalf("std = %v", Std(xs))
+	}
+}
+
+func TestJainIndexExtremes(t *testing.T) {
+	if JainIndex([]float64{5, 5, 5, 5}) != 1 {
+		t.Fatal("equal allocation should have Jain 1")
+	}
+	got := JainIndex([]float64{1, 0, 0, 0})
+	if !almostEq(got, 0.25, 1e-12) {
+		t.Fatalf("single-winner Jain = %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 1 || JainIndex([]float64{0, 0}) != 1 {
+		t.Fatal("degenerate Jain should be 1")
+	}
+}
+
+func TestGiniExtremes(t *testing.T) {
+	if g := Gini([]float64{3, 3, 3}); !almostEq(g, 0, 1e-12) {
+		t.Fatalf("equal Gini = %v", g)
+	}
+	// Single winner among n participants has Gini (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 10}); !almostEq(g, 0.75, 1e-12) {
+		t.Fatalf("winner-take-all Gini = %v, want 0.75", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate Gini should be 0")
+	}
+}
+
+func TestGiniPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gini with negative value did not panic")
+		}
+	}()
+	Gini([]float64{-1, 1})
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	r := NewRNG(31)
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = r.Normal()
+	}
+	for i := range large {
+		large[i] = r.Normal()
+	}
+	if CI95(large) >= CI95(small) {
+		t.Fatalf("CI should shrink with n: %v vs %v", CI95(large), CI95(small))
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("CI95 of 1 sample should be 0")
+	}
+}
+
+// Property: Summarize invariants hold for arbitrary samples.
+func TestQuickSummarizeInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			return false
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.P90 <= s.Max && s.P90 >= s.Min &&
+			s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Jain index is always within [1/n, 1] for non-trivial samples.
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Abs(math.Mod(x, 1e6)))
+			}
+		}
+		if len(xs) == 0 {
+			return JainIndex(xs) == 1
+		}
+		j := JainIndex(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	r := NewRNG(41)
+	xs := make([]float64, 500)
+	run := NewRunning()
+	for i := range xs {
+		xs[i] = r.NormalMS(10, 3)
+		run.Add(xs[i])
+	}
+	s := Summarize(xs)
+	if !almostEq(run.Mean(), s.Mean, 1e-9) {
+		t.Fatalf("mean %v vs %v", run.Mean(), s.Mean)
+	}
+	if !almostEq(run.Std(), s.Std, 1e-9) {
+		t.Fatalf("std %v vs %v", run.Std(), s.Std)
+	}
+	if run.Min() != s.Min || run.Max() != s.Max || run.N() != s.N {
+		t.Fatal("min/max/n mismatch")
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	run := NewRunning()
+	if run.Mean() != 0 || run.Var() != 0 || run.N() != 0 {
+		t.Fatal("empty Running should report zeros")
+	}
+	if !math.IsInf(run.Min(), 1) || !math.IsInf(run.Max(), -1) {
+		t.Fatal("empty Running min/max should be infinities")
+	}
+}
+
+func TestRunningMergeEquivalence(t *testing.T) {
+	r := NewRNG(42)
+	whole := NewRunning()
+	a, b := NewRunning(), NewRunning()
+	for i := 0; i < 1000; i++ {
+		x := r.Float64Range(-5, 5)
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if !almostEq(a.Mean(), whole.Mean(), 1e-9) || !almostEq(a.Var(), whole.Var(), 1e-9) {
+		t.Fatalf("merged (%v,%v) vs whole (%v,%v)", a.Mean(), a.Var(), whole.Mean(), whole.Var())
+	}
+	if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged n/min/max mismatch")
+	}
+}
+
+func TestRunningMergeWithEmpty(t *testing.T) {
+	a := NewRunning()
+	a.Add(1)
+	a.Add(3)
+	empty := NewRunning()
+	a.Merge(empty)
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatal("merging empty changed accumulator")
+	}
+	empty2 := NewRunning()
+	empty2.Merge(a)
+	if empty2.N() != 2 || empty2.Mean() != 2 {
+		t.Fatal("merging into empty failed")
+	}
+}
+
+// Property: merge order never matters for the mean (commutativity up to fp).
+func TestQuickRunningMergeCommutes(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := make([]float64, 0, len(in))
+			for _, x := range in {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					out = append(out, math.Mod(x, 1e4))
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		a1, b1 := NewRunning(), NewRunning()
+		a2, b2 := NewRunning(), NewRunning()
+		for _, x := range xs {
+			a1.Add(x)
+			a2.Add(x)
+		}
+		for _, y := range ys {
+			b1.Add(y)
+			b2.Add(y)
+		}
+		a1.Merge(b1) // xs then ys
+		b2.Merge(a2) // ys then xs
+		if a1.N() != b2.N() {
+			return false
+		}
+		if a1.N() == 0 {
+			return true
+		}
+		return almostEq(a1.Mean(), b2.Mean(), 1e-6) && almostEq(a1.Var(), b2.Var(), 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package mba
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/market"
+)
+
+func TestAssignAllAlgorithms(t *testing.T) {
+	in := FreelanceTrace(50, 40, 1)
+	for _, name := range Algorithms() {
+		if name == "auction" {
+			continue // needs unit capacities, covered below
+		}
+		res, err := Assign(in, DefaultParams(), name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Metrics.Algorithm != name {
+			t.Fatalf("%s: metrics labelled %q", name, res.Metrics.Algorithm)
+		}
+		for _, pr := range res.Pairs {
+			if pr.Mutual < 0 || pr.Mutual > 1 {
+				t.Fatalf("%s: pair benefit %v out of range", name, pr.Mutual)
+			}
+		}
+	}
+}
+
+func TestAssignAuctionOnMatchingInstance(t *testing.T) {
+	cfg := market.UniformConfig(30, 30)
+	cfg.MinCapacity, cfg.MaxCapacity = 1, 1
+	cfg.MinReplication, cfg.MaxReplication = 1, 1
+	in, err := Generate(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Assign(in, DefaultParams(), "auction", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Assign(in, DefaultParams(), "exact", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TotalMutual < exact.Metrics.TotalMutual-0.01 {
+		t.Fatalf("auction %v far below exact %v", res.Metrics.TotalMutual, exact.Metrics.TotalMutual)
+	}
+}
+
+func TestAssignUnknownAlgorithm(t *testing.T) {
+	in := FreelanceTrace(10, 10, 1)
+	if _, err := Assign(in, DefaultParams(), "nope", 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestAssignBadParams(t *testing.T) {
+	in := FreelanceTrace(10, 10, 1)
+	if _, err := Assign(in, Params{Lambda: 7}, "greedy", 1); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestAssignDeterministicForSeed(t *testing.T) {
+	in := MicrotaskTrace(40, 30, 3)
+	a, err := Assign(in, DefaultParams(), "online-greedy", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Assign(in, DefaultParams(), "online-greedy", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.TotalMutual != b.Metrics.TotalMutual || len(a.Pairs) != len(b.Pairs) {
+		t.Fatal("same-seed assignment differs")
+	}
+}
+
+func TestAssignWithCustomSolver(t *testing.T) {
+	in := FreelanceTrace(20, 20, 4)
+	res, err := AssignWith(in, DefaultParams(), core.LocalSearch{Kind: core.MutualWeight}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Algorithm != "local-search" {
+		t.Fatalf("got %q", res.Metrics.Algorithm)
+	}
+}
+
+func TestEndToEndAccuracy(t *testing.T) {
+	in := MicrotaskTrace(80, 40, 5)
+	res, err := Assign(in, DefaultParams(), "greedy", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2e, err := EndToEnd(in, DefaultParams(), res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2e.AnsweredTasks == 0 {
+		t.Fatal("no tasks answered")
+	}
+	for _, acc := range []float64{e2e.MajorityAccuracy, e2e.WeightedAccuracy, e2e.EMAccuracy} {
+		if acc < 0.5 || acc > 1 {
+			t.Fatalf("implausible accuracy %v", acc)
+		}
+	}
+}
+
+func TestEndToEndRejectsForeignPairs(t *testing.T) {
+	in := MicrotaskTrace(10, 10, 6)
+	res := &Result{Pairs: []Pair{{Worker: 99, Task: 0}}}
+	if _, err := EndToEnd(in, DefaultParams(), res, 1); err == nil {
+		t.Fatal("foreign pair accepted")
+	}
+}
+
+func TestSimulateRoundsFacade(t *testing.T) {
+	solver, err := NewSolver("greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateRounds(DynamicsConfig{
+		Rounds: 5,
+		Market: MarketConfig{NumWorkers: 40, NumTasks: 30},
+		Params: DefaultParams(),
+		Solver: solver,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 5 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+}
+
+func TestGenerateFacadeValidates(t *testing.T) {
+	if _, err := Generate(MarketConfig{MinCapacity: 5, MaxCapacity: 1}, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestMutualBeatsQualityOnlyOnTotalBenefit(t *testing.T) {
+	// The paper's headline claim through the public API.
+	var mutual, qualityOnly float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		in := FreelanceTrace(60, 50, seed)
+		rm, err := Assign(in, DefaultParams(), "exact", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := Assign(in, DefaultParams(), "quality-only", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutual += rm.Metrics.TotalMutual
+		qualityOnly += rq.Metrics.TotalMutual
+	}
+	if mutual <= qualityOnly {
+		t.Fatalf("mutual %v did not beat quality-only %v", mutual, qualityOnly)
+	}
+}
