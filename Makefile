@@ -1,0 +1,30 @@
+# Pre-merge verification and perf tooling.  `make verify` is the documented
+# gate: the tier-1 build+test, go vet, and the race detector over the
+# concurrency-bearing packages (problem construction and the platform
+# server).
+GO ?= go
+
+.PHONY: verify build test vet race bench benchjson
+
+verify: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/platform/...
+
+# Construction + greedy hot-path micro-benchmarks (allocation counts
+# included); compare against the committed BENCH_construction.json.
+bench:
+	$(GO) test -bench 'NewProblem|Greedy|Feasible' -benchmem -run '^$$'
+
+# Regenerate the machine-readable benchmark-regression report.
+benchjson:
+	$(GO) run ./cmd/mbabench -benchjson BENCH_construction.json

@@ -1,5 +1,6 @@
 // Command mbabench regenerates the reconstructed tables and figures of the
-// paper's evaluation (DESIGN.md §7).
+// paper's evaluation (DESIGN.md §7) and hosts the benchmark-regression
+// harness.
 //
 // Usage:
 //
@@ -7,6 +8,11 @@
 //	mbabench -exp R-Fig4 -seed 7      # one experiment, custom seed
 //	mbabench -list                    # list experiment ids
 //	mbabench -exp all -quick          # shrunken workloads (smoke run)
+//	mbabench -benchjson BENCH_construction.json
+//	                                  # machine-readable construction/solver
+//	                                  # benchmarks at three market scales
+//	mbabench -cpuprofile cpu.pprof -memprofile heap.pprof ...
+//	                                  # pprof capture around either mode
 package main
 
 import (
@@ -15,18 +21,30 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mbabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment id to run, or \"all\"")
-		seed   = flag.Uint64("seed", 42, "workload and algorithm seed")
-		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		reps   = flag.Int("reps", 0, "repetitions per data point (0 = experiment default)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		outdir = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		exp        = flag.String("exp", "all", "experiment id to run, or \"all\"")
+		seed       = flag.Uint64("seed", 42, "workload and algorithm seed")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		reps       = flag.Int("reps", 0, "repetitions per data point (0 = experiment default)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		outdir     = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		benchjson  = flag.String("benchjson", "", "run the benchmark-regression harness and write its JSON report to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 
@@ -34,13 +52,59 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mbabench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mbabench:", err)
+			}
+		}()
+	}
+
+	if *benchjson != "" {
+		rep, err := experiments.RunBenchJSON(os.Stdout, experiments.BenchConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*benchjson)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d entries)\n", *benchjson, len(rep.Results))
+		return nil
+	}
+
 	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Reps: *reps}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "mbabench:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	runOne := func(e experiments.Experiment) error {
@@ -62,22 +126,17 @@ func main() {
 		}
 		return err
 	}
-	var err error
 	if *exp == "all" {
 		for _, e := range experiments.All() {
-			if err = runOne(e); err != nil {
-				err = fmt.Errorf("%s: %w", e.ID, err)
-				break
+			if err := runOne(e); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
 			}
 		}
-	} else {
-		var e experiments.Experiment
-		if e, err = experiments.ByID(*exp); err == nil {
-			err = runOne(e)
-		}
+		return nil
 	}
+	e, err := experiments.ByID(*exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mbabench:", err)
-		os.Exit(1)
+		return err
 	}
+	return runOne(e)
 }

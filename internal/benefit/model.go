@@ -84,9 +84,26 @@ func (p Params) Validate() error {
 }
 
 // Model evaluates benefits over one market instance.
+//
+// NewModel precomputes the per-(worker, category) terms of Quality and
+// WorkerUtility into flat tables so problem construction — which evaluates
+// every eligible pair — pays the profile lookups once per worker instead of
+// once per edge.  The tables only cover workers present (with well-formed
+// profiles) when the model was created; lookups for any other worker
+// pointer fall back to the direct formulas, so instances that keep mutating
+// after NewModel (e.g. core.Incremental's backing store) stay correct.
 type Model struct {
 	in *market.Instance
 	p  Params
+
+	// memoWorkers is the number of leading in.Workers covered by the memo
+	// tables; 0 disables memoization.  A lookup uses the tables only when
+	// the worker pointer still identifies in.Workers[w.ID], so stale copies
+	// and re-allocated backing arrays are never served memoized values.
+	memoWorkers int
+	nC          int
+	accHalf     []float64 // accHalf[w*nC+c] = Accuracy[c] - 0.5
+	iTerm       []float64 // iTerm[w*nC+c] = (1-Beta)·Interest[c]
 }
 
 // NewModel binds params to an instance.  It returns an error for invalid
@@ -98,7 +115,46 @@ func NewModel(in *market.Instance, p Params) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{in: in, p: p}, nil
+	m := &Model{in: in, p: p, nC: in.NumCategories}
+	m.memoize()
+	return m, nil
+}
+
+// memoize fills the per-(worker, category) tables.  Workers with malformed
+// profile lengths disable memoization entirely rather than risk an
+// out-of-range read; NewModel does not validate the instance, so this must
+// tolerate anything.
+func (m *Model) memoize() {
+	nW := len(m.in.Workers)
+	if m.nC <= 0 || nW == 0 {
+		return
+	}
+	for i := range m.in.Workers {
+		w := &m.in.Workers[i]
+		if len(w.Accuracy) != m.nC || len(w.Interest) != m.nC {
+			return
+		}
+	}
+	m.accHalf = make([]float64, nW*m.nC)
+	m.iTerm = make([]float64, nW*m.nC)
+	for i := range m.in.Workers {
+		w := &m.in.Workers[i]
+		base := i * m.nC
+		for c := 0; c < m.nC; c++ {
+			m.accHalf[base+c] = w.Accuracy[c] - 0.5
+			m.iTerm[base+c] = (1 - m.p.Beta) * w.Interest[c]
+		}
+	}
+	m.memoWorkers = nW
+}
+
+// memoBase returns the memo-table base index for w, or -1 when w is not
+// (or no longer) the instance-resident worker the tables were built from.
+func (m *Model) memoBase(w *market.Worker) int {
+	if id := w.ID; uint(id) < uint(m.memoWorkers) && w == &m.in.Workers[id] {
+		return id * m.nC
+	}
+	return -1
 }
 
 // Params returns the model's parameters.
@@ -117,6 +173,11 @@ func (m *Model) EffectiveAccuracy(w *market.Worker, t *market.Task) float64 {
 // Quality is the requester-side benefit of assigning w to t, the effective
 // accuracy rescaled from [0.5, 1) to [0, 1).
 func (m *Model) Quality(w *market.Worker, t *market.Task) float64 {
+	if base := m.memoBase(w); base >= 0 {
+		// Same expression as the fallback with Accuracy[c]-0.5 cached, so
+		// both paths produce bit-identical values.
+		return 2 * (0.5 + m.accHalf[base+t.Category]*(1-t.Difficulty) - 0.5)
+	}
 	return 2 * (m.EffectiveAccuracy(w, t) - 0.5)
 }
 
@@ -134,6 +195,9 @@ func (m *Model) WorkerUtility(w *market.Worker, t *market.Task) float64 {
 		} else if pay > 1 {
 			pay = 1
 		}
+	}
+	if base := m.memoBase(w); base >= 0 {
+		return m.p.Beta*pay + m.iTerm[base+t.Category]
 	}
 	return m.p.Beta*pay + (1-m.p.Beta)*w.Interest[t.Category]
 }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+)
+
+// assertSameProblem fails unless got's edges and adjacency are exactly —
+// including float bits — those of the serial reference.
+func assertSameProblem(t *testing.T, label string, ref, got *Problem) {
+	t.Helper()
+	if len(got.Edges) != len(ref.Edges) {
+		t.Fatalf("%s: %d edges, reference has %d", label, len(got.Edges), len(ref.Edges))
+	}
+	for i := range ref.Edges {
+		if got.Edges[i] != ref.Edges[i] {
+			t.Fatalf("%s: edge %d = %+v, reference %+v", label, i, got.Edges[i], ref.Edges[i])
+		}
+	}
+	for w := 0; w < ref.In.NumWorkers(); w++ {
+		a, b := got.AdjW(w), ref.AdjW(w)
+		if len(a) != len(b) {
+			t.Fatalf("%s: AdjW(%d) length %d, reference %d", label, w, len(a), len(b))
+		}
+		for k := range b {
+			if a[k] != b[k] {
+				t.Fatalf("%s: AdjW(%d)[%d] = %d, reference %d", label, w, k, a[k], b[k])
+			}
+		}
+	}
+	for tj := 0; tj < ref.In.NumTasks(); tj++ {
+		a, b := got.AdjT(tj), ref.AdjT(tj)
+		if len(a) != len(b) {
+			t.Fatalf("%s: AdjT(%d) length %d, reference %d", label, tj, len(a), len(b))
+		}
+		for k := range b {
+			if a[k] != b[k] {
+				t.Fatalf("%s: AdjT(%d)[%d] = %d, reference %d", label, tj, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+// TestNewProblemMatchesSerialReference is the construction-determinism
+// property test: across 20 seeds and the three trace generators, the
+// counted parallel build must produce Edges, AdjW and AdjT byte-identical
+// to the retained serial reference, at every fan-out (including fan-outs
+// far above GOMAXPROCS, which exercise the chunk-boundary search).
+func TestNewProblemMatchesSerialReference(t *testing.T) {
+	gens := []struct {
+		name string
+		cfg  func(workers, tasks int) market.Config
+	}{
+		{"freelance", market.FreelanceTraceConfig},
+		{"microtask", market.MicrotaskTraceConfig},
+		{"zipf", func(w, tk int) market.Config { return market.ZipfConfig(w, tk, 1.2) }},
+	}
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 20; seed++ {
+				in := market.MustGenerate(g.cfg(40, 30), seed)
+				ref, err := NewProblemSerial(in, benefit.DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				pub := MustNewProblem(in, benefit.DefaultParams())
+				assertSameProblem(t, "NewProblem", ref, pub)
+				for _, procs := range []int{1, 3, 8} {
+					p, err := newProblemProcs(in, benefit.DefaultParams(), procs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameProblem(t, "procs="+strconv.Itoa(procs), ref, p)
+				}
+			}
+		})
+	}
+}
+
+// TestNewProblemParallelLargeMarket forces a genuinely chunked build on a
+// market big enough that every chunk owns many workers.
+func TestNewProblemParallelLargeMarket(t *testing.T) {
+	in := market.MustGenerate(market.FreelanceTraceConfig(600, 400), 42)
+	ref, err := NewProblemSerial(in, benefit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{2, 4, 7, 16} {
+		p, err := newProblemProcs(in, benefit.DefaultParams(), procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameProblem(t, "procs="+strconv.Itoa(procs), ref, p)
+	}
+}
+
+// TestNewProblemDegenerateShapes covers the counted build's boundary cases:
+// no workers, no tasks, empty categories, single-specialty fast path.
+func TestNewProblemDegenerateShapes(t *testing.T) {
+	onlyWorkers := &market.Instance{
+		Name: "only-workers", NumCategories: 3,
+		Workers: []market.Worker{{
+			ID: 0, Capacity: 2,
+			Accuracy:    []float64{0.8, 0.8, 0.8},
+			Interest:    []float64{0.5, 0.5, 0.5},
+			Specialties: []int{1},
+		}},
+	}
+	p := MustNewProblem(onlyWorkers, benefit.DefaultParams())
+	if len(p.Edges) != 0 || len(p.AdjW(0)) != 0 {
+		t.Fatalf("workers-only market produced %d edges", len(p.Edges))
+	}
+
+	onlyTasks := &market.Instance{
+		Name: "only-tasks", NumCategories: 2,
+		Tasks:      []market.Task{{ID: 0, Category: 0, Replication: 1, Payment: 1}},
+		MaxPayment: 1,
+	}
+	p = MustNewProblem(onlyTasks, benefit.DefaultParams())
+	if len(p.Edges) != 0 || len(p.AdjT(0)) != 0 {
+		t.Fatalf("tasks-only market produced %d edges", len(p.Edges))
+	}
+}
+
+// TestFilterProblemMatchesRebuild cross-checks the filtered CSR layout: the
+// kept edges and adjacency must agree with edge-by-edge expectations.
+func TestFilterProblemMatchesRebuild(t *testing.T) {
+	p := smallProblem(t, 11)
+	fp := FilterProblem(p, MinQuality(0.3))
+	wantEdges := 0
+	for i := range p.Edges {
+		if p.Edges[i].Q >= 0.3 {
+			wantEdges++
+		}
+	}
+	if len(fp.Edges) != wantEdges {
+		t.Fatalf("filtered %d edges, want %d", len(fp.Edges), wantEdges)
+	}
+	covered := 0
+	for w := 0; w < fp.In.NumWorkers(); w++ {
+		for _, ei := range fp.AdjW(w) {
+			if fp.Edges[ei].W != w {
+				t.Fatal("filtered AdjW holds foreign edge")
+			}
+			covered++
+		}
+	}
+	if covered != len(fp.Edges) {
+		t.Fatalf("filtered AdjW covers %d of %d edges", covered, len(fp.Edges))
+	}
+	covered = 0
+	for tj := 0; tj < fp.In.NumTasks(); tj++ {
+		prev := int32(-1)
+		for _, ei := range fp.AdjT(tj) {
+			if fp.Edges[ei].T != tj {
+				t.Fatal("filtered AdjT holds foreign edge")
+			}
+			if ei <= prev {
+				t.Fatal("filtered AdjT not ascending")
+			}
+			prev = ei
+			covered++
+		}
+	}
+	if covered != len(fp.Edges) {
+		t.Fatalf("filtered AdjT covers %d of %d edges", covered, len(fp.Edges))
+	}
+}

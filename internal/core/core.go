@@ -26,7 +26,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/benefit"
 	"repro/internal/bipartite"
@@ -86,19 +88,42 @@ func (e *EdgeInfo) Weight(kind WeightKind) float64 {
 
 // Problem is one assignment round: an instance, a benefit model, and the
 // materialised eligible edges.
+//
+// Adjacency is stored in CSR form: one flat backing slice per side plus an
+// offsets array, so building a problem performs a fixed number of
+// allocations regardless of market shape and the AdjW/AdjT accessors return
+// subslices of contiguous memory.
 type Problem struct {
 	In    *market.Instance
 	Model *benefit.Model
 	Edges []EdgeInfo
 
-	adjW [][]int32 // adjW[w] = indices into Edges incident to worker w
-	adjT [][]int32 // adjT[t] = indices into Edges incident to task t
+	adjW []int32 // edge indices incident to worker w at [offW[w], offW[w+1])
+	offW []int32 // len NumWorkers+1
+	adjT []int32 // edge indices incident to task t at [offT[t], offT[t+1])
+	offT []int32 // len NumTasks+1
 }
+
+// parallelBuildCutoff is the edge count below which NewProblem stays
+// serial: goroutine fan-out costs more than it saves on small markets.
+const parallelBuildCutoff = 1 << 12
 
 // NewProblem builds the Problem for an instance under params.  Edges are
 // enumerated in deterministic (worker, task) order: for each worker, the
 // tasks of each of its specialties in task-id order.
+//
+// Construction is a counted two-pass build into preallocated flat arrays,
+// with edge scoring fanned out across GOMAXPROCS goroutines over disjoint
+// worker ranges; the result is byte-identical to NewProblemSerial, the
+// retained single-threaded reference.
 func NewProblem(in *market.Instance, params benefit.Params) (*Problem, error) {
+	return newProblemProcs(in, params, 0)
+}
+
+// newProblemProcs is NewProblem with an explicit scoring fan-out, so tests
+// can force the parallel path regardless of GOMAXPROCS and market size.
+// procs <= 0 selects GOMAXPROCS with the small-market serial cutoff.
+func newProblemProcs(in *market.Instance, params benefit.Params, procs int) (*Problem, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,43 +131,180 @@ func NewProblem(in *market.Instance, params benefit.Params) (*Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Problem{
-		In:    in,
-		Model: model,
-		adjW:  make([][]int32, in.NumWorkers()),
-		adjT:  make([][]int32, in.NumTasks()),
+	p := &Problem{In: in, Model: model}
+	p.build(procs)
+	return p, nil
+}
+
+// build materialises Edges and the CSR adjacency in two counted passes:
+// exact per-node degrees first (so every array is allocated once at final
+// size), then scoring into the precomputed disjoint ranges.
+func (p *Problem) build(procs int) {
+	in := p.In
+	nW, nT, nC := in.NumWorkers(), in.NumTasks(), in.NumCategories
+
+	// CSR bucket of tasks by category; task ids ascend within each bucket
+	// because tasks are visited in id order.
+	catOff := make([]int32, nC+1)
+	for j := range in.Tasks {
+		catOff[in.Tasks[j].Category+1]++
 	}
-	// Bucket tasks by category once.
-	tasksByCat := make([][]int, in.NumCategories)
+	for c := 0; c < nC; c++ {
+		catOff[c+1] += catOff[c]
+	}
+	catTasks := make([]int32, nT)
+	catCur := make([]int32, nC)
+	copy(catCur, catOff[:nC])
 	for j := range in.Tasks {
 		c := in.Tasks[j].Category
-		tasksByCat[c] = append(tasksByCat[c], j)
+		catTasks[catCur[c]] = int32(j)
+		catCur[c]++
 	}
-	p.Edges = make([]EdgeInfo, 0, in.NumEdges())
+
+	// Pass 1: exact degrees.  A worker's edge count is the sum of its
+	// specialty bucket sizes; a task's degree is the number of workers
+	// specialised in its category.
+	offW := make([]int32, nW+1)
+	workersPerCat := make([]int32, nC)
 	for wi := range in.Workers {
-		w := &in.Workers[wi]
-		// Specialties in ascending order gives ascending task ids per worker
-		// only within a category; sort the union for full determinism.
-		var taskIDs []int
-		for _, c := range w.Specialties {
-			taskIDs = append(taskIDs, tasksByCat[c]...)
+		deg := int32(0)
+		for _, c := range in.Workers[wi].Specialties {
+			deg += catOff[c+1] - catOff[c]
+			workersPerCat[c]++
 		}
-		sort.Ints(taskIDs)
-		for _, tj := range taskIDs {
-			t := &in.Tasks[tj]
-			e := EdgeInfo{
-				W: wi, T: tj,
-				Q: model.Quality(w, t),
-				B: model.WorkerUtility(w, t),
-			}
-			e.M = model.Combine(e.Q, e.B)
-			idx := int32(len(p.Edges))
-			p.Edges = append(p.Edges, e)
-			p.adjW[wi] = append(p.adjW[wi], idx)
-			p.adjT[tj] = append(p.adjT[tj], idx)
+		offW[wi+1] = offW[wi] + deg
+	}
+	total := int(offW[nW])
+	offT := make([]int32, nT+1)
+	for j := range in.Tasks {
+		offT[j+1] = offT[j] + workersPerCat[in.Tasks[j].Category]
+	}
+
+	p.Edges = make([]EdgeInfo, total)
+	p.adjW = make([]int32, total)
+	p.adjT = make([]int32, total)
+	p.offW, p.offT = offW, offT
+
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+		if total < parallelBuildCutoff {
+			procs = 1
 		}
 	}
-	return p, nil
+	if procs > nW {
+		procs = nW
+	}
+
+	// Pass 2: score edges.  Each chunk owns a contiguous worker range and
+	// therefore a disjoint range of Edges/adjW, so the fan-out is race-free
+	// and its output independent of goroutine scheduling.
+	if procs <= 1 {
+		p.scoreWorkers(0, nW, catOff, catTasks)
+	} else {
+		// Chunk boundaries at edge-count quantiles, so dense workers do not
+		// pile into one goroutine.
+		bounds := make([]int, procs+1)
+		bounds[procs] = nW
+		for k := 1; k < procs; k++ {
+			target := int32(int64(total) * int64(k) / int64(procs))
+			bounds[k] = sort.Search(nW, func(i int) bool { return offW[i] >= target })
+		}
+		var wg sync.WaitGroup
+		for k := 0; k < procs; k++ {
+			lo, hi := bounds[k], bounds[k+1]
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				p.scoreWorkers(lo, hi, catOff, catTasks)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Task adjacency: edges ascend globally, so a single cursor sweep fills
+	// every task's list in ascending edge order — matching the order the
+	// grow-by-append build produced.
+	cursorT := make([]int32, nT)
+	copy(cursorT, offT[:nT])
+	for i := range p.Edges {
+		tj := p.Edges[i].T
+		p.adjT[cursorT[tj]] = int32(i)
+		cursorT[tj]++
+	}
+}
+
+// scoreWorkers scores the edges of workers [lo, hi) into their precomputed
+// Edges/adjW ranges.  Each worker's task list is the k-way merge of its
+// specialty buckets — disjoint ascending lists — replacing the seed's
+// per-worker union-then-sort.Ints.
+func (p *Problem) scoreWorkers(lo, hi int, catOff, catTasks []int32) {
+	in := p.In
+	nC := in.NumCategories
+	cur := make([]int32, nC)
+	end := make([]int32, nC)
+	for wi := lo; wi < hi; wi++ {
+		w := &in.Workers[wi]
+		pos := p.offW[wi]
+		specs := w.Specialties
+		if len(specs) == 1 {
+			c := specs[0]
+			for _, tj := range catTasks[catOff[c]:catOff[c+1]] {
+				p.scoreEdge(pos, wi, int(tj), w)
+				pos++
+			}
+			continue
+		}
+		for s, c := range specs {
+			cur[s] = catOff[c]
+			end[s] = catOff[c+1]
+		}
+		for pos < p.offW[wi+1] {
+			best, bestT := -1, int32(0)
+			for s := range specs {
+				if cur[s] < end[s] {
+					if tj := catTasks[cur[s]]; best == -1 || tj < bestT {
+						best, bestT = s, tj
+					}
+				}
+			}
+			cur[best]++
+			p.scoreEdge(pos, wi, int(bestT), w)
+			pos++
+		}
+	}
+}
+
+// scoreEdge fills Edges[pos] with the scored pair (wi, tj).  Edge index ==
+// position in the worker-major enumeration, so adjW is the identity there.
+func (p *Problem) scoreEdge(pos int32, wi, tj int, w *market.Worker) {
+	t := &p.In.Tasks[tj]
+	e := &p.Edges[pos]
+	e.W, e.T = wi, tj
+	e.Q = p.Model.Quality(w, t)
+	e.B = p.Model.WorkerUtility(w, t)
+	e.M = p.Model.Combine(e.Q, e.B)
+	p.adjW[pos] = pos
+}
+
+// setAdjacency flattens per-node adjacency lists into the CSR arrays (used
+// by the serial reference builder).
+func (p *Problem) setAdjacency(adjW, adjT [][]int32) {
+	n := len(p.Edges)
+	p.offW = make([]int32, len(adjW)+1)
+	p.adjW = make([]int32, 0, n)
+	for w, l := range adjW {
+		p.adjW = append(p.adjW, l...)
+		p.offW[w+1] = int32(len(p.adjW))
+	}
+	p.offT = make([]int32, len(adjT)+1)
+	p.adjT = make([]int32, 0, n)
+	for t, l := range adjT {
+		p.adjT = append(p.adjT, l...)
+		p.offT[t+1] = int32(len(p.adjT))
+	}
 }
 
 // MustNewProblem is NewProblem that panics on error, for tests, examples and
@@ -156,10 +318,10 @@ func MustNewProblem(in *market.Instance, params benefit.Params) *Problem {
 }
 
 // AdjW returns the edge indices incident to worker w (do not mutate).
-func (p *Problem) AdjW(w int) []int32 { return p.adjW[w] }
+func (p *Problem) AdjW(w int) []int32 { return p.adjW[p.offW[w]:p.offW[w+1]] }
 
 // AdjT returns the edge indices incident to task t (do not mutate).
-func (p *Problem) AdjT(t int) []int32 { return p.adjT[t] }
+func (p *Problem) AdjT(t int) []int32 { return p.adjT[p.offT[t]:p.offT[t+1]] }
 
 // CapacityW returns a fresh slice of worker capacities.
 func (p *Problem) CapacityW() []int {
@@ -196,9 +358,11 @@ func (p *Problem) GraphFor(kind WeightKind) *bipartite.Graph {
 // and both sides' degree constraints respected.  It returns nil or a
 // descriptive error for the first violation.
 func (p *Problem) Feasible(sel []int) error {
-	seen := make(map[int]bool, len(sel))
-	degW := make(map[int]int)
-	degT := make(map[int]int)
+	// Flat slices, not maps: Feasible runs on every solver result and the
+	// three maps the seed allocated dominated its cost on large markets.
+	seen := make([]bool, len(p.Edges))
+	degW := make([]int, p.In.NumWorkers())
+	degT := make([]int, p.In.NumTasks())
 	for _, ei := range sel {
 		if ei < 0 || ei >= len(p.Edges) {
 			return fmt.Errorf("core: edge index %d out of range", ei)

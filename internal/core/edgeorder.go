@@ -1,0 +1,79 @@
+package core
+
+import "sort"
+
+// edgeOrder is the concrete sort.Interface behind every weight-ordered edge
+// scan: decreasing weight, ties broken by ascending edge index (so the
+// order is strict and the algorithms deterministic).  Weights are extracted
+// once into a flat slice so each comparison reads two contiguous arrays
+// instead of chasing EdgeInfo structs through a closure, which is what made
+// the seed's sort.Slice the hot spot of Greedy.Solve.
+type edgeOrder[T int | int32] struct {
+	idx []T
+	wt  []float64
+}
+
+func (o *edgeOrder[T]) Len() int { return len(o.idx) }
+
+func (o *edgeOrder[T]) Less(a, b int) bool {
+	if o.wt[a] != o.wt[b] {
+		return o.wt[a] > o.wt[b]
+	}
+	return o.idx[a] < o.idx[b]
+}
+
+func (o *edgeOrder[T]) Swap(a, b int) {
+	o.idx[a], o.idx[b] = o.idx[b], o.idx[a]
+	o.wt[a], o.wt[b] = o.wt[b], o.wt[a]
+}
+
+// sortEdgesByWeight sorts idx (edge indices into p.Edges) in place:
+// decreasing weight under kind, ascending index on ties.  The kind switch
+// is hoisted out of the comparison loop into the extraction pass.
+func sortEdgesByWeight[T int | int32](p *Problem, kind WeightKind, idx []T) {
+	if len(idx) < 2 {
+		return
+	}
+	wt := make([]float64, len(idx))
+	switch kind {
+	case MutualWeight:
+		for k, ei := range idx {
+			wt[k] = p.Edges[ei].M
+		}
+	case QualityWeight:
+		for k, ei := range idx {
+			wt[k] = p.Edges[ei].Q
+		}
+	case WorkerWeight:
+		for k, ei := range idx {
+			wt[k] = p.Edges[ei].B
+		}
+	default:
+		panic("core: unknown weight kind")
+	}
+	sort.Sort(&edgeOrder[T]{idx: idx, wt: wt})
+}
+
+// identityOrder returns the edge indices 0..n-1.
+func identityOrder(n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return order
+}
+
+// takeFeasible is the shared feasibility scan of Greedy, Random and
+// ShardedGreedy: walk order, take every edge whose endpoints still have
+// capacity, decrementing capW/capT and appending to sel.
+func takeFeasible[T int | int32](p *Problem, order []T, capW, capT []int, sel []int) []int {
+	for _, ei := range order {
+		e := &p.Edges[ei]
+		if capW[e.W] > 0 && capT[e.T] > 0 {
+			capW[e.W]--
+			capT[e.T]--
+			sel = append(sel, int(ei))
+		}
+	}
+	return sel
+}

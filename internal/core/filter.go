@@ -11,21 +11,47 @@ package core
 // SLA ablation (X-Abl6) sweeps it and measures what the bar costs in
 // coverage and worker-side benefit.
 func FilterProblem(p *Problem, keep func(e *EdgeInfo) bool) *Problem {
-	out := &Problem{
-		In:    p.In,
-		Model: p.Model,
-		adjW:  make([][]int32, p.In.NumWorkers()),
-		adjT:  make([][]int32, p.In.NumTasks()),
-	}
+	nW, nT := p.In.NumWorkers(), p.In.NumTasks()
+	out := &Problem{In: p.In, Model: p.Model}
+	// Two-pass counted build into the CSR layout, mirroring NewProblem:
+	// count surviving edges per node, prefix-sum into offsets, then fill.
+	keepMask := make([]bool, len(p.Edges))
+	offW := make([]int32, nW+1)
+	offT := make([]int32, nT+1)
+	total := 0
 	for i := range p.Edges {
 		e := &p.Edges[i]
-		if !keep(e) {
+		if keep(e) {
+			keepMask[i] = true
+			offW[e.W+1]++
+			offT[e.T+1]++
+			total++
+		}
+	}
+	for w := 0; w < nW; w++ {
+		offW[w+1] += offW[w]
+	}
+	for t := 0; t < nT; t++ {
+		offT[t+1] += offT[t]
+	}
+	out.Edges = make([]EdgeInfo, 0, total)
+	out.adjW = make([]int32, total)
+	out.adjT = make([]int32, total)
+	out.offW, out.offT = offW, offT
+	curT := make([]int32, nT)
+	copy(curT, offT[:nT])
+	for i := range p.Edges {
+		if !keepMask[i] {
 			continue
 		}
+		e := &p.Edges[i]
 		idx := int32(len(out.Edges))
 		out.Edges = append(out.Edges, *e)
-		out.adjW[e.W] = append(out.adjW[e.W], idx)
-		out.adjT[e.T] = append(out.adjT[e.T], idx)
+		// Filtering preserves the source's worker-major enumeration, so the
+		// worker adjacency is the identity, exactly as in NewProblem.
+		out.adjW[idx] = idx
+		out.adjT[curT[e.T]] = idx
+		curT[e.T]++
 	}
 	return out
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/stats"
 )
 
@@ -34,30 +32,10 @@ func (s Greedy) Name() string {
 // Solve implements Solver.  Ties are broken by edge index, so the result is
 // deterministic; the RNG is unused.
 func (s Greedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
-	order := make([]int, len(p.Edges))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		wa := p.Edges[order[a]].Weight(s.Kind)
-		wb := p.Edges[order[b]].Weight(s.Kind)
-		if wa != wb {
-			return wa > wb
-		}
-		return order[a] < order[b]
-	})
-	capW := p.CapacityW()
-	capT := p.CapacityT()
+	order := identityOrder(len(p.Edges))
+	sortEdgesByWeight(p, s.Kind, order)
 	sel := make([]int, 0, minInt(p.In.TotalSlots(), p.In.TotalCapacity()))
-	for _, ei := range order {
-		e := &p.Edges[ei]
-		if capW[e.W] > 0 && capT[e.T] > 0 {
-			capW[e.W]--
-			capT[e.T]--
-			sel = append(sel, ei)
-		}
-	}
-	return sel, nil
+	return takeFeasible(p, order, p.CapacityW(), p.CapacityT(), sel), nil
 }
 
 // QualityOnly is the strongest classical baseline: greedy assignment by
@@ -77,18 +55,8 @@ func (Random) Name() string { return "random" }
 // Solve implements Solver.
 func (Random) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 	order := r.Perm(len(p.Edges))
-	capW := p.CapacityW()
-	capT := p.CapacityT()
-	var sel []int
-	for _, ei := range order {
-		e := &p.Edges[ei]
-		if capW[e.W] > 0 && capT[e.T] > 0 {
-			capW[e.W]--
-			capT[e.T]--
-			sel = append(sel, ei)
-		}
-	}
-	return sel, nil
+	sel := make([]int, 0, minInt(p.In.TotalSlots(), p.In.TotalCapacity()))
+	return takeFeasible(p, order, p.CapacityW(), p.CapacityT(), sel), nil
 }
 
 // RoundRobin iterates tasks in id order and hands each open slot to the next

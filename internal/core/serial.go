@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+)
+
+// NewProblemSerial is the retained single-threaded reference builder: the
+// original grow-by-append construction (per-worker union of specialty
+// buckets followed by sort.Ints, append-grown adjacency lists), flattened
+// into the CSR layout at the end.
+//
+// It exists for two reasons: the construction-determinism property test
+// asserts the parallel NewProblem is byte-identical to it, and the
+// benchmark-regression harness measures the construction speedup against
+// it.  Use NewProblem everywhere else.
+func NewProblemSerial(in *market.Instance, params benefit.Params) (*Problem, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := benefit.NewModel(in, params)
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{In: in, Model: model}
+	tasksByCat := make([][]int, in.NumCategories)
+	for j := range in.Tasks {
+		c := in.Tasks[j].Category
+		tasksByCat[c] = append(tasksByCat[c], j)
+	}
+	adjW := make([][]int32, in.NumWorkers())
+	adjT := make([][]int32, in.NumTasks())
+	p.Edges = make([]EdgeInfo, 0, in.NumEdges())
+	for wi := range in.Workers {
+		w := &in.Workers[wi]
+		// Specialties in ascending order gives ascending task ids per worker
+		// only within a category; sort the union for full determinism.
+		var taskIDs []int
+		for _, c := range w.Specialties {
+			taskIDs = append(taskIDs, tasksByCat[c]...)
+		}
+		sort.Ints(taskIDs)
+		for _, tj := range taskIDs {
+			t := &in.Tasks[tj]
+			e := EdgeInfo{
+				W: wi, T: tj,
+				Q: model.Quality(w, t),
+				B: model.WorkerUtility(w, t),
+			}
+			e.M = model.Combine(e.Q, e.B)
+			idx := int32(len(p.Edges))
+			p.Edges = append(p.Edges, e)
+			adjW[wi] = append(adjW[wi], idx)
+			adjT[tj] = append(adjT[tj], idx)
+		}
+	}
+	p.setAdjacency(adjW, adjT)
+	return p, nil
+}

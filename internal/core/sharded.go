@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/stats"
@@ -44,10 +43,15 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 	if nT == 0 || len(p.Edges) == 0 {
 		return nil, nil
 	}
+	// Clamp to both dimensions: with fewer tasks — or, in degenerate
+	// markets, fewer edges — than shards, the surplus shards would only
+	// spin empty goroutines.
 	if shards > nT {
 		shards = nT
 	}
-	weight := func(ei int) float64 { return p.Edges[ei].Weight(s.Kind) }
+	if shards > len(p.Edges) {
+		shards = len(p.Edges)
+	}
 
 	// Phase 1 (parallel): per-shard optimistic greedy.  Shard k owns tasks
 	// with t % shards == k; every shard assumes it has each worker's full
@@ -58,31 +62,16 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			var edges []int
+			n := 0
 			for t := k; t < nT; t += shards {
-				for _, ei := range p.AdjT(t) {
-					edges = append(edges, int(ei))
-				}
+				n += len(p.AdjT(t))
 			}
-			sort.Slice(edges, func(a, b int) bool {
-				wa, wb := weight(edges[a]), weight(edges[b])
-				if wa != wb {
-					return wa > wb
-				}
-				return edges[a] < edges[b]
-			})
-			capW := p.CapacityW()
-			capT := p.CapacityT()
-			var picks []int
-			for _, ei := range edges {
-				e := &p.Edges[ei]
-				if capW[e.W] > 0 && capT[e.T] > 0 {
-					capW[e.W]--
-					capT[e.T]--
-					picks = append(picks, ei)
-				}
+			edges := make([]int32, 0, n)
+			for t := k; t < nT; t += shards {
+				edges = append(edges, p.AdjT(t)...)
 			}
-			shardPicks[k] = picks
+			sortEdgesByWeight(p, s.Kind, edges)
+			shardPicks[k] = takeFeasible(p, edges, p.CapacityW(), p.CapacityT(), nil)
 		}(k)
 	}
 	wg.Wait()
@@ -90,17 +79,15 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 	// Phase 2 (sequential): reconcile.  Union the shard picks sorted by
 	// weight and re-run the capacity-respecting take — workers that were
 	// over-subscribed keep their heaviest edges.
-	var union []int
+	n := 0
+	for _, picks := range shardPicks {
+		n += len(picks)
+	}
+	union := make([]int, 0, n)
 	for _, picks := range shardPicks {
 		union = append(union, picks...)
 	}
-	sort.Slice(union, func(a, b int) bool {
-		wa, wb := weight(union[a]), weight(union[b])
-		if wa != wb {
-			return wa > wb
-		}
-		return union[a] < union[b]
-	})
+	sortEdgesByWeight(p, s.Kind, union)
 	capW := p.CapacityW()
 	capT := p.CapacityT()
 	taken := make([]bool, len(p.Edges))
@@ -122,19 +109,13 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 			continue
 		}
 		adj := p.AdjT(t)
-		cands := make([]int, 0, len(adj))
+		cands := make([]int32, 0, len(adj))
 		for _, ei := range adj {
 			if !taken[ei] && capW[p.Edges[ei].W] > 0 {
-				cands = append(cands, int(ei))
+				cands = append(cands, ei)
 			}
 		}
-		sort.Slice(cands, func(a, b int) bool {
-			wa, wb := weight(cands[a]), weight(cands[b])
-			if wa != wb {
-				return wa > wb
-			}
-			return cands[a] < cands[b]
-		})
+		sortEdgesByWeight(p, s.Kind, cands)
 		for _, ei := range cands {
 			if capT[t] == 0 {
 				break
@@ -144,7 +125,7 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 				taken[ei] = true
 				capW[e.W]--
 				capT[t]--
-				sel = append(sel, ei)
+				sel = append(sel, int(ei))
 			}
 		}
 	}

@@ -81,6 +81,62 @@ func TestShardedGreedyEmptyAndDegenerate(t *testing.T) {
 	}
 }
 
+func TestShardedGreedyTinyMarketsHighShards(t *testing.T) {
+	// 1 task, several workers: every shard count collapses to one shard and
+	// the result must equal plain greedy exactly.
+	in := market.MustGenerate(market.Config{NumWorkers: 6, NumTasks: 1}, 3)
+	p := MustNewProblem(in, benefit.DefaultParams())
+	gSel, _ := (Greedy{Kind: MutualWeight}).Solve(p, nil)
+	for _, shards := range []int{2, 8, 64} {
+		sel, err := (ShardedGreedy{Kind: MutualWeight, Shards: shards}).Solve(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Feasible(sel); err != nil {
+			t.Fatalf("shards %d: %v", shards, err)
+		}
+		if p.Evaluate(sel).TotalMutual != p.Evaluate(gSel).TotalMutual {
+			t.Fatalf("shards %d: %v != greedy %v", shards,
+				p.Evaluate(sel).TotalMutual, p.Evaluate(gSel).TotalMutual)
+		}
+	}
+}
+
+func TestShardedGreedySingleEdgeHighShards(t *testing.T) {
+	// A 1-worker / 1-task / 1-edge market under an absurd shard count: the
+	// shard clamp must reduce to one shard and still take the lone edge.
+	in := &market.Instance{
+		Name: "one-edge", NumCategories: 1,
+		Workers: []market.Worker{{
+			ID: 0, Capacity: 1,
+			Accuracy:    []float64{0.9},
+			Interest:    []float64{0.7},
+			Specialties: []int{0},
+		}},
+		Tasks:      []market.Task{{ID: 0, Category: 0, Replication: 1, Payment: 2}},
+		MaxPayment: 2,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := MustNewProblem(in, benefit.DefaultParams())
+	if len(p.Edges) != 1 {
+		t.Fatalf("market has %d edges, want 1", len(p.Edges))
+	}
+	for _, shards := range []int{0, 1, 64} {
+		sel, err := (ShardedGreedy{Kind: MutualWeight, Shards: shards}).Solve(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel) != 1 || sel[0] != 0 {
+			t.Fatalf("shards %d: sel = %v, want [0]", shards, sel)
+		}
+		if err := p.Feasible(sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestShardedGreedyMaximal(t *testing.T) {
 	// The fill pass guarantees no assignable pair is left on the table.
 	p := smallProblem(t, 7)

@@ -1,0 +1,188 @@
+package experiments
+
+// The benchmark-regression harness behind `mbabench -benchjson`: it times
+// problem construction (parallel vs the retained serial reference), the
+// feasibility check, and the solver line-up at three market scales with
+// testing.Benchmark, and emits a machine-readable report.  Future PRs
+// compare their run against the checked-in BENCH_construction.json to catch
+// performance regressions; the schema is documented in EXPERIMENTS.md.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+// BenchSchema identifies the report format; bump when fields change.
+const BenchSchema = "mba-bench/v1"
+
+// benchExactEdgeBudget caps the edge count at which the exact flow solver
+// and local search join the line-up (they are super-linear and would
+// dominate the harness's wall clock at the larger scales).
+const benchExactEdgeBudget = 60000
+
+// BenchScale is one market size of the regression harness.
+type BenchScale struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	Tasks   int    `json:"tasks"`
+}
+
+// DefaultBenchScales returns the three freelance-trace scales the harness
+// measures: the headline comparison size, and two steps toward the
+// million-edge regime of R-Fig9.
+func DefaultBenchScales() []BenchScale {
+	return []BenchScale{
+		{Name: "small", Workers: 400, Tasks: 300},
+		{Name: "medium", Workers: 1600, Tasks: 1200},
+		{Name: "large", Workers: 6400, Tasks: 4800},
+	}
+}
+
+// BenchResult is one benchmark entry of the report.
+type BenchResult struct {
+	// Name is "new-problem", "new-problem-serial", "feasible", or a solver
+	// name as reported by Solver.Name().
+	Name string `json:"name"`
+	// Scale echoes the BenchScale the entry ran at.
+	Scale   string `json:"scale"`
+	Workers int    `json:"workers"`
+	Tasks   int    `json:"tasks"`
+	Edges   int    `json:"edges"`
+	// Iterations is the b.N testing.Benchmark settled on.
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the top-level document written to BENCH_construction.json.
+type BenchReport struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       uint64        `json:"seed"`
+	Results    []BenchResult `json:"results"`
+}
+
+// WriteJSON writes the indented JSON document.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// BenchConfig parameterises RunBenchJSON.
+type BenchConfig struct {
+	Seed uint64
+	// Scales defaults to DefaultBenchScales.
+	Scales []BenchScale
+	// Solvers defaults to the greedy family plus the baselines (with exact
+	// and local-search joining below benchExactEdgeBudget edges).  Tests
+	// override it to keep the harness fast.
+	Solvers []core.Solver
+}
+
+// RunBenchJSON runs the regression harness, logging one human-readable line
+// per entry to log, and returns the report.
+func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
+	scales := cfg.Scales
+	if len(scales) == 0 {
+		scales = DefaultBenchScales()
+	}
+	rep := &BenchReport{
+		Schema:     BenchSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
+	}
+	for _, sc := range scales {
+		in, err := market.Generate(market.FreelanceTraceConfig(sc.Workers, sc.Tasks), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewProblem(in, benefit.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		add := func(name string, br testing.BenchmarkResult) {
+			rep.Results = append(rep.Results, BenchResult{
+				Name: name, Scale: sc.Name,
+				Workers: sc.Workers, Tasks: sc.Tasks, Edges: len(p.Edges),
+				Iterations:  br.N,
+				NsPerOp:     float64(br.NsPerOp()),
+				AllocsPerOp: br.AllocsPerOp(),
+				BytesPerOp:  br.AllocedBytesPerOp(),
+			})
+			fmt.Fprintf(log, "%-8s %-20s %14.0f ns/op %10d allocs/op\n",
+				sc.Name, name, float64(br.NsPerOp()), br.AllocsPerOp())
+		}
+
+		add("new-problem", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewProblem(in, benefit.DefaultParams()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		add("new-problem-serial", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewProblemSerial(in, benefit.DefaultParams()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+		sel, err := (core.Greedy{Kind: core.MutualWeight}).Solve(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		add("feasible", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := p.Feasible(sel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+		solvers := cfg.Solvers
+		if solvers == nil {
+			solvers = []core.Solver{
+				core.Greedy{Kind: core.MutualWeight},
+				core.QualityOnly(),
+				core.WorkerOnly(),
+				core.ShardedGreedy{Kind: core.MutualWeight},
+				core.Random{},
+				core.RoundRobin{},
+			}
+			if len(p.Edges) <= benchExactEdgeBudget {
+				solvers = append(solvers,
+					core.LocalSearch{Kind: core.MutualWeight},
+					core.Exact{Kind: core.MutualWeight},
+				)
+			}
+		}
+		for _, s := range solvers {
+			s := s
+			add(s.Name(), testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(p, stats.NewRNG(uint64(i))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+	}
+	return rep, nil
+}

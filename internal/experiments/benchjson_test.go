@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunBenchJSONTinyScale runs the regression harness at a toy scale with
+// a single solver and checks the report is complete and valid JSON.  The
+// full-scale run is cmd/mbabench -benchjson.
+func TestRunBenchJSONTinyScale(t *testing.T) {
+	rep, err := RunBenchJSON(io.Discard, BenchConfig{
+		Seed:    1,
+		Scales:  []BenchScale{{Name: "tiny", Workers: 30, Tasks: 20}},
+		Solvers: []core.Solver{core.Greedy{Kind: core.MutualWeight}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	want := []string{"new-problem", "new-problem-serial", "feasible", "greedy"}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(rep.Results), len(want))
+	}
+	for i, name := range want {
+		r := rep.Results[i]
+		if r.Name != name {
+			t.Fatalf("result %d is %q, want %q", i, r.Name, name)
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Fatalf("%s: ns/op %v iters %d not measured", name, r.NsPerOp, r.Iterations)
+		}
+		if r.Scale != "tiny" || r.Edges <= 0 {
+			t.Fatalf("%s: scale metadata missing: %+v", name, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatal("round-trip lost results")
+	}
+}
