@@ -4,7 +4,7 @@
 # server).
 GO ?= go
 
-.PHONY: verify build test vet race bench benchjson
+.PHONY: verify build test vet race bench benchjson bench-diff
 
 verify: build test vet race
 
@@ -25,6 +25,16 @@ race:
 bench:
 	$(GO) test -bench 'NewProblem|Greedy|Feasible' -benchmem -run '^$$'
 
-# Regenerate the machine-readable benchmark-regression report.
+# Regenerate the machine-readable benchmark-regression baselines:
+# construction/solver line-up, and the steady-state solve + platform round
+# suites (workspace and arena reuse).
 benchjson:
-	$(GO) run ./cmd/mbabench -benchjson BENCH_construction.json
+	$(GO) run ./cmd/mbabench -benchjson BENCH_construction.json -suites construction
+	$(GO) run ./cmd/mbabench -benchjson BENCH_solve.json -suites solve,round
+
+# Re-run the checked-in baselines' suites and fail on any entry that got
+# >25% slower (or meaningfully more allocation-hungry).  Run on an idle
+# machine: the gate compares wall-clock numbers.
+bench-diff:
+	$(GO) run ./cmd/mbabench -benchdiff BENCH_construction.json
+	$(GO) run ./cmd/mbabench -benchdiff BENCH_solve.json

@@ -11,6 +11,12 @@
 //	mbabench -benchjson BENCH_construction.json
 //	                                  # machine-readable construction/solver
 //	                                  # benchmarks at three market scales
+//	mbabench -benchjson BENCH_solve.json -suites solve,round
+//	                                  # steady-state solve + platform round
+//	                                  # suites (workspace + arena reuse)
+//	mbabench -benchdiff BENCH_solve.json
+//	                                  # re-run a baseline's suites and fail
+//	                                  # on >25% ns/op (or alloc) regressions
 //	mbabench -cpuprofile cpu.pprof -memprofile heap.pprof ...
 //	                                  # pprof capture around either mode
 package main
@@ -23,6 +29,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -43,6 +50,9 @@ func run() error {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		outdir     = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		benchjson  = flag.String("benchjson", "", "run the benchmark-regression harness and write its JSON report to this file")
+		suites     = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round)")
+		benchdiff  = flag.String("benchdiff", "", "re-run this baseline report's suites and fail on regressions beyond -benchtol")
+		benchtol   = flag.Float64("benchtol", experiments.DefaultBenchTolerance, "fractional slowdown tolerated by -benchdiff before failing")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
@@ -81,8 +91,51 @@ func run() error {
 		}()
 	}
 
+	if *benchdiff != "" {
+		baseline, err := experiments.LoadBenchReport(*benchdiff)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("re-running suites %v against %s (tolerance %.0f%%)\n",
+			baseline.Suites, *benchdiff, *benchtol*100)
+		cfg := experiments.BenchConfig{Seed: baseline.Seed, Suites: baseline.Suites}
+		fresh, err := experiments.RunBenchJSON(os.Stdout, cfg)
+		if err != nil {
+			return err
+		}
+		regressions := experiments.DiffBench(os.Stdout, baseline, fresh, *benchtol)
+		if len(regressions) > 0 {
+			// Wall-clock benchmarks on a shared host can lose >25% to a
+			// scheduler or cgroup throttling window; a real regression
+			// survives an independent sample, interference does not.  Re-run
+			// the suites and gate on the per-entry minimum of the two runs.
+			fmt.Printf("%d possible regression(s) — running a confirmation pass\n", len(regressions))
+			confirm, err := experiments.RunBenchJSON(os.Stdout, cfg)
+			if err != nil {
+				return err
+			}
+			fresh = experiments.MergeBenchMin(fresh, confirm)
+			fmt.Println("best-of-two comparison:")
+			regressions = experiments.DiffBench(os.Stdout, baseline, fresh, *benchtol)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "mbabench: regression:", r)
+			}
+			return fmt.Errorf("%d benchmark regression(s) vs %s", len(regressions), *benchdiff)
+		}
+		fmt.Printf("no regressions vs %s (%d entries compared)\n", *benchdiff, len(baseline.Results))
+		return nil
+	}
+
 	if *benchjson != "" {
-		rep, err := experiments.RunBenchJSON(os.Stdout, experiments.BenchConfig{Seed: *seed})
+		var suiteList []string
+		for _, s := range strings.Split(*suites, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				suiteList = append(suiteList, s)
+			}
+		}
+		rep, err := experiments.RunBenchJSON(os.Stdout, experiments.BenchConfig{Seed: *seed, Suites: suiteList})
 		if err != nil {
 			return err
 		}

@@ -18,11 +18,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/benefit"
 	"repro/internal/core"
@@ -31,12 +36,13 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		categories = flag.Int("categories", 30, "category universe size")
-		solverName = flag.String("solver", "greedy", "assignment algorithm per round")
-		lambda     = flag.Float64("lambda", 0.5, "requester-side weight in [0,1]")
-		journal    = flag.String("journal", "", "append-only event log path (replayed on start; empty disables)")
-		seed       = flag.Uint64("seed", 42, "seed for randomised solvers")
+		addr         = flag.String("addr", ":8080", "listen address")
+		categories   = flag.Int("categories", 30, "category universe size")
+		solverName   = flag.String("solver", "greedy", "assignment algorithm per round")
+		lambda       = flag.Float64("lambda", 0.5, "requester-side weight in [0,1]")
+		journal      = flag.String("journal", "", "append-only event log path (replayed on start; empty disables)")
+		seed         = flag.Uint64("seed", 42, "seed for randomised solvers")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain limit for in-flight requests")
 	)
 	flag.Parse()
 
@@ -47,6 +53,7 @@ func main() {
 
 	var state *platform.State
 	var jlog *platform.Log
+	var jfile *os.File
 	if *journal != "" {
 		// Replay any existing journal, tolerating a torn tail from a crash
 		// mid-append, then keep appending to it.
@@ -69,7 +76,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("mbaserve: opening journal for append: %v", err)
 		}
-		defer f.Close()
+		jfile = f
 		jlog = platform.NewLog(f)
 	}
 	if state == nil {
@@ -82,8 +89,47 @@ func main() {
 	if err != nil {
 		log.Fatalf("mbaserve: %v", err)
 	}
-	fmt.Printf("mbaserve listening on %s (solver=%s, categories=%d)\n", *addr, *solverName, *categories)
-	if err := http.ListenAndServe(*addr, platform.NewServer(svc)); err != nil {
-		log.Fatalf("mbaserve: %v", err)
+	// Serve with sane timeouts (a stuck client must not pin a connection
+	// forever; round closes are bounded by WriteTimeout) and shut down
+	// gracefully: on SIGINT/SIGTERM stop accepting, drain in-flight
+	// requests — including a round mid-solve — then flush and close the
+	// journal so the last accepted mutation is durable before exit.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           platform.NewServer(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	fmt.Printf("mbaserve listening on %s (solver=%s, categories=%d)\n", *addr, *solverName, *categories)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("mbaserve: %v", err)
+	case <-ctx.Done():
+		log.Printf("mbaserve: signal received, draining")
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("mbaserve: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("mbaserve: serve: %v", err)
+	}
+	if jfile != nil {
+		if err := jfile.Sync(); err != nil {
+			log.Printf("mbaserve: journal sync: %v", err)
+		}
+		if err := jfile.Close(); err != nil {
+			log.Printf("mbaserve: journal close: %v", err)
+		}
+	}
+	log.Printf("mbaserve: shut down cleanly")
 }

@@ -102,6 +102,18 @@ type Problem struct {
 	offW []int32 // len NumWorkers+1
 	adjT []int32 // edge indices incident to task t at [offT[t], offT[t+1])
 	offT []int32 // len NumTasks+1
+
+	// bs retains the counting-pass scratch so RebuildProblem can rebuild
+	// this Problem for the next round without reallocating it.
+	bs buildScratch
+}
+
+// buildScratch is the per-build counting scratch: category buckets, degree
+// counters and fill cursors.  All O(categories + tasks), all fully
+// rewritten by every build.
+type buildScratch struct {
+	catOff, catTasks, catCur []int32
+	workersPerCat, cursorT   []int32
 }
 
 // parallelBuildCutoff is the edge count below which NewProblem stays
@@ -143,17 +155,26 @@ func (p *Problem) build(procs int) {
 	in := p.In
 	nW, nT, nC := in.NumWorkers(), in.NumTasks(), in.NumCategories
 
+	// Every array below is drawn through a reuse-aware grow helper against
+	// the Problem's previous build (a no-op first time), so RebuildProblem
+	// reruns this code with (almost) zero fresh allocation when the market
+	// shape is stable round over round.
+
 	// CSR bucket of tasks by category; task ids ascend within each bucket
 	// because tasks are visited in id order.
-	catOff := make([]int32, nC+1)
+	p.bs.catOff = growI32(p.bs.catOff, nC+1)
+	catOff := p.bs.catOff
+	clear(catOff)
 	for j := range in.Tasks {
 		catOff[in.Tasks[j].Category+1]++
 	}
 	for c := 0; c < nC; c++ {
 		catOff[c+1] += catOff[c]
 	}
-	catTasks := make([]int32, nT)
-	catCur := make([]int32, nC)
+	p.bs.catTasks = growI32(p.bs.catTasks, nT)
+	catTasks := p.bs.catTasks
+	p.bs.catCur = growI32(p.bs.catCur, nC)
+	catCur := p.bs.catCur
 	copy(catCur, catOff[:nC])
 	for j := range in.Tasks {
 		c := in.Tasks[j].Category
@@ -164,8 +185,11 @@ func (p *Problem) build(procs int) {
 	// Pass 1: exact degrees.  A worker's edge count is the sum of its
 	// specialty bucket sizes; a task's degree is the number of workers
 	// specialised in its category.
-	offW := make([]int32, nW+1)
-	workersPerCat := make([]int32, nC)
+	offW := growI32(p.offW, nW+1)
+	offW[0] = 0
+	p.bs.workersPerCat = growI32(p.bs.workersPerCat, nC)
+	workersPerCat := p.bs.workersPerCat
+	clear(workersPerCat)
 	for wi := range in.Workers {
 		deg := int32(0)
 		for _, c := range in.Workers[wi].Specialties {
@@ -175,14 +199,15 @@ func (p *Problem) build(procs int) {
 		offW[wi+1] = offW[wi] + deg
 	}
 	total := int(offW[nW])
-	offT := make([]int32, nT+1)
+	offT := growI32(p.offT, nT+1)
+	offT[0] = 0
 	for j := range in.Tasks {
 		offT[j+1] = offT[j] + workersPerCat[in.Tasks[j].Category]
 	}
 
-	p.Edges = make([]EdgeInfo, total)
-	p.adjW = make([]int32, total)
-	p.adjT = make([]int32, total)
+	p.Edges = growEdges(p.Edges, total)
+	p.adjW = growI32(p.adjW, total)
+	p.adjT = growI32(p.adjT, total)
 	p.offW, p.offT = offW, offT
 
 	if procs <= 0 {
@@ -227,7 +252,8 @@ func (p *Problem) build(procs int) {
 	// Task adjacency: edges ascend globally, so a single cursor sweep fills
 	// every task's list in ascending edge order — matching the order the
 	// grow-by-append build produced.
-	cursorT := make([]int32, nT)
+	p.bs.cursorT = growI32(p.bs.cursorT, nT)
+	cursorT := p.bs.cursorT
 	copy(cursorT, offT[:nT])
 	for i := range p.Edges {
 		tj := p.Edges[i].T

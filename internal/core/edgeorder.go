@@ -27,14 +27,9 @@ func (o *edgeOrder[T]) Swap(a, b int) {
 	o.wt[a], o.wt[b] = o.wt[b], o.wt[a]
 }
 
-// sortEdgesByWeight sorts idx (edge indices into p.Edges) in place:
-// decreasing weight under kind, ascending index on ties.  The kind switch
-// is hoisted out of the comparison loop into the extraction pass.
-func sortEdgesByWeight[T int | int32](p *Problem, kind WeightKind, idx []T) {
-	if len(idx) < 2 {
-		return
-	}
-	wt := make([]float64, len(idx))
+// extractWeights fills wt[k] with idx[k]'s weight under kind.  The kind
+// switch is hoisted out of the comparison loop into this extraction pass.
+func extractWeights[T int | int32](p *Problem, kind WeightKind, idx []T, wt []float64) {
 	switch kind {
 	case MutualWeight:
 		for k, ei := range idx {
@@ -51,12 +46,50 @@ func sortEdgesByWeight[T int | int32](p *Problem, kind WeightKind, idx []T) {
 	default:
 		panic("core: unknown weight kind")
 	}
+}
+
+// sortEdgesByWeight sorts idx (edge indices into p.Edges) in place:
+// decreasing weight under kind, ascending index on ties.
+func sortEdgesByWeight[T int | int32](p *Problem, kind WeightKind, idx []T) {
+	if len(idx) < 2 {
+		return
+	}
+	wt := make([]float64, len(idx))
+	extractWeights(p, kind, idx, wt)
 	sort.Sort(&edgeOrder[T]{idx: idx, wt: wt})
 }
 
-// identityOrder returns the edge indices 0..n-1.
-func identityOrder(n int) []int32 {
-	order := make([]int32, n)
+// sortEdgesByWeightWS is sortEdgesByWeight drawing its weight buffer and
+// sorter from ws, so repeated sorts through one workspace allocate nothing.
+func sortEdgesByWeightWS(p *Problem, kind WeightKind, idx []int32, ws *Workspace) {
+	if len(idx) < 2 {
+		return
+	}
+	ws.sortWt = growF64(ws.sortWt, len(idx))
+	wt := ws.sortWt[:len(idx)]
+	extractWeights(p, kind, idx, wt)
+	ws.sorter32.idx, ws.sorter32.wt = idx, wt
+	sort.Sort(&ws.sorter32)
+	ws.sorter32.idx, ws.sorter32.wt = nil, nil
+}
+
+// sortIntEdgesByWeightWS is sortEdgesByWeightWS for []int edge orders.
+func sortIntEdgesByWeightWS(p *Problem, kind WeightKind, idx []int, ws *Workspace) {
+	if len(idx) < 2 {
+		return
+	}
+	ws.sortWt = growF64(ws.sortWt, len(idx))
+	wt := ws.sortWt[:len(idx)]
+	extractWeights(p, kind, idx, wt)
+	ws.sorterInt.idx, ws.sorterInt.wt = idx, wt
+	sort.Sort(&ws.sorterInt)
+	ws.sorterInt.idx, ws.sorterInt.wt = nil, nil
+}
+
+// identityOrderWS fills ws.order with the edge indices 0..n-1.
+func identityOrderWS(ws *Workspace, n int) []int32 {
+	ws.order = growI32(ws.order, n)
+	order := ws.order[:n]
 	for i := range order {
 		order[i] = int32(i)
 	}

@@ -15,6 +15,9 @@ import (
 // (R-Fig9).
 type Greedy struct {
 	Kind WeightKind
+	// WS optionally pins a reusable workspace; nil borrows one from the
+	// package pool per call.
+	WS *Workspace
 }
 
 // Name implements Solver.
@@ -32,10 +35,20 @@ func (s Greedy) Name() string {
 // Solve implements Solver.  Ties are broken by edge index, so the result is
 // deterministic; the RNG is unused.
 func (s Greedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
-	order := identityOrder(len(p.Edges))
-	sortEdgesByWeight(p, s.Kind, order)
-	sel := make([]int, 0, minInt(p.In.TotalSlots(), p.In.TotalCapacity()))
-	return takeFeasible(p, order, p.CapacityW(), p.CapacityT(), sel), nil
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	return copySel(greedyInto(p, s.Kind, ws)), nil
+}
+
+// greedyInto runs edge-greedy with all scratch drawn from ws and returns
+// the selection backed by ws.sel (valid until ws's next use).  LocalSearch
+// seeds from it without paying the copy.
+func greedyInto(p *Problem, kind WeightKind, ws *Workspace) []int {
+	order := identityOrderWS(ws, len(p.Edges))
+	sortEdgesByWeightWS(p, kind, order, ws)
+	ws.sel = growInts(ws.sel, 0)[:0]
+	ws.sel = takeFeasible(p, order, p.capacityWInto(ws), p.capacityTInto(ws), ws.sel)
+	return ws.sel
 }
 
 // QualityOnly is the strongest classical baseline: greedy assignment by
@@ -47,37 +60,52 @@ func WorkerOnly() Solver { return Greedy{Kind: WorkerWeight} }
 
 // Random assigns by scanning a uniformly shuffled edge order and taking
 // whatever fits.  It is the sanity floor of every comparison plot.
-type Random struct{}
+type Random struct {
+	// WS optionally pins a reusable workspace.
+	WS *Workspace
+}
 
 // Name implements Solver.
 func (Random) Name() string { return "random" }
 
 // Solve implements Solver.
-func (Random) Solve(p *Problem, r *stats.RNG) ([]int, error) {
-	order := r.Perm(len(p.Edges))
-	sel := make([]int, 0, minInt(p.In.TotalSlots(), p.In.TotalCapacity()))
-	return takeFeasible(p, order, p.CapacityW(), p.CapacityT(), sel), nil
+func (s Random) Solve(p *Problem, r *stats.RNG) ([]int, error) {
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	ws.ints = r.PermInto(ws.ints, len(p.Edges))
+	ws.sel = growInts(ws.sel, 0)[:0]
+	ws.sel = takeFeasible(p, ws.ints, p.capacityWInto(ws), p.capacityTInto(ws), ws.sel)
+	return copySel(ws.sel), nil
 }
 
 // RoundRobin iterates tasks in id order and hands each open slot to the next
 // eligible worker in a rotating cursor — the "fair dispatcher" many real
 // platforms actually run, and a second sanity baseline.
-type RoundRobin struct{}
+type RoundRobin struct {
+	// WS optionally pins a reusable workspace.
+	WS *Workspace
+}
 
 // Name implements Solver.
 func (RoundRobin) Name() string { return "round-robin" }
 
 // Solve implements Solver.  Deterministic; the RNG is unused.
-func (RoundRobin) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
-	capW := p.CapacityW()
-	capT := p.CapacityT()
-	chosen := make([]bool, len(p.Edges))
-	var sel []int
+func (s RoundRobin) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	capW := p.capacityWInto(ws)
+	capT := p.capacityTInto(ws)
+	chosen := growBoolZero(ws.chosen, len(p.Edges))
+	ws.chosen = chosen
+	ws.sel = growInts(ws.sel, 0)[:0]
+	sel := ws.sel
 	// cursor[t] rotates over AdjT(t) so repeated slots of the same task go
 	// to different workers; the chosen guard prevents re-taking an edge when
 	// the cursor wraps around.
 	progress := true
-	cursor := make([]int, p.In.NumTasks())
+	ws.ints = growInts(ws.ints, p.In.NumTasks())
+	cursor := ws.ints
+	clear(cursor)
 	for progress {
 		progress = false
 		for t := 0; t < p.In.NumTasks(); t++ {
@@ -100,7 +128,8 @@ func (RoundRobin) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 			}
 		}
 	}
-	return sel, nil
+	ws.sel = sel
+	return copySel(sel), nil
 }
 
 func minInt(a, b int) int {

@@ -1,18 +1,24 @@
 package core
 
-import "repro/internal/stats"
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
 
 // LocalSearch refines the Greedy solution with exchange moves until a local
-// optimum (or MaxPasses sweeps).  Three move types are tried for every
-// unchosen edge e = (w, t):
+// optimum (or MaxPasses sweeps).  Four move types are considered for every
+// edge e = (w, t):
 //
-//	add     — both endpoints have spare capacity: take e (gain w(e) > 0);
-//	swap    — one endpoint is full: evict that endpoint's cheapest chosen
-//	          edge if e is strictly heavier;
-//	2-swap  — both endpoints are full: evict the cheapest chosen edge of
-//	          each if e outweighs the pair;
-//	rotate  — evict one *chosen* edge (w, t) and take the best addable edge
-//	          at each freed endpoint if the pair outweighs the eviction.
+//	add     — e unchosen, both endpoints spare: take e (gain w(e) > 0);
+//	swap    — e unchosen, one endpoint full: evict that endpoint's cheapest
+//	          chosen edge if e is strictly heavier;
+//	2-swap  — e unchosen, both endpoints full: evict the cheapest chosen
+//	          edge of each if e outweighs the pair;
+//	rotate  — e chosen: evict e and take the best addable edge at each
+//	          freed endpoint if the pair outweighs the eviction.
 //
 // The first three moves alone can never improve on Greedy: every edge
 // Greedy rejected was blocked by strictly heavier edges that remain chosen,
@@ -20,12 +26,29 @@ import "repro/internal/stats"
 // what escapes Greedy's local optimum — it undoes a heavy early commitment
 // that blocks two medium edges (the classic ½-approximation tight case:
 // weights 1.0 vs 0.9 + 0.9).  In the optimality experiment (R-Fig10) the
-// combination recovers most of the gap Greedy leaves to Exact while staying
-// near-linear per pass.
+// combination recovers most of the gap Greedy leaves to Exact.
+//
+// Each pass is collect-then-apply.  Against the frozen pass-start state it
+// first builds four per-vertex tables — the cheapest chosen and the best
+// addable edge at every worker and task — then derives each edge's best
+// move in O(1) from them, making a pass O(E) where the seed's
+// per-edge adjacency rescans were O(E·deg).  Both the table sweeps and the
+// move scan fan out across GOMAXPROCS goroutines over contiguous vertex and
+// edge ranges; the candidate moves are then sorted (gain descending, edge
+// index ascending) and applied serially, skipping any move that touches a
+// worker or task an earlier-applied move already touched.  The conflict
+// filter keeps every applied move's frozen-state gain exact, so the
+// objective strictly increases and the outcome is bit-identical for any
+// goroutine count — LocalSearchSerial runs this very code single-threaded,
+// and the property test in localsearch_parallel_test.go holds the two to
+// identical selections.
 type LocalSearch struct {
 	Kind WeightKind
 	// MaxPasses bounds the number of full sweeps; 0 means the default (8).
 	MaxPasses int
+	// WS optionally pins a reusable workspace; nil borrows one from the
+	// package pool per call.
+	WS *Workspace
 }
 
 // Name implements Solver.
@@ -33,191 +56,392 @@ func (s LocalSearch) Name() string { return "local-search" }
 
 // Solve implements Solver.  Deterministic; the RNG is unused.
 func (s LocalSearch) Solve(p *Problem, r *stats.RNG) ([]int, error) {
-	sel, err := Greedy{Kind: s.Kind}.Solve(p, r)
-	if err != nil {
-		return nil, err
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	return localSearchRun(p, s.Kind, s.MaxPasses, 0, ws), nil
+}
+
+// LocalSearchSerial is the retained single-threaded reference for
+// LocalSearch: the identical collect-then-apply algorithm with every sweep
+// forced onto one goroutine.  It exists so the equivalence property test
+// and the benchmark-regression harness can hold the parallel fast path to
+// the serial semantics; use LocalSearch everywhere else.
+type LocalSearchSerial struct {
+	Kind      WeightKind
+	MaxPasses int
+	// WS optionally pins a reusable workspace.
+	WS *Workspace
+}
+
+// Name implements Solver.
+func (s LocalSearchSerial) Name() string { return "local-search-serial" }
+
+// Solve implements Solver.  Deterministic; the RNG is unused.
+func (s LocalSearchSerial) Solve(p *Problem, r *stats.RNG) ([]int, error) {
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	return localSearchRun(p, s.Kind, s.MaxPasses, 1, ws), nil
+}
+
+// parallelLSCutoff is the edge count below which local search stays serial:
+// per-pass goroutine fan-out costs more than it saves on small markets.
+const parallelLSCutoff = 1 << 12
+
+// lsMove is one candidate improving move, collected against the frozen
+// pass-start state.  For an exchange move (rotate false) ei is the unchosen
+// edge to take and a/b the chosen worker- and task-side evictions (-1 =
+// none).  For a rotate move ei is the chosen edge to evict and a/b the
+// unchosen worker- and task-side takes (-1 = none, at least one set).
+type lsMove struct {
+	gain   float64
+	ei     int32
+	a, b   int32
+	rotate bool
+}
+
+// lsMoveSorter orders moves by decreasing gain, ties broken by ascending
+// primary edge index.  Each edge contributes at most one move, so the order
+// is strict and the serial apply deterministic.
+type lsMoveSorter struct{ moves []lsMove }
+
+func (s *lsMoveSorter) Len() int { return len(s.moves) }
+func (s *lsMoveSorter) Less(a, b int) bool {
+	if s.moves[a].gain != s.moves[b].gain {
+		return s.moves[a].gain > s.moves[b].gain
 	}
-	maxPasses := s.MaxPasses
+	return s.moves[a].ei < s.moves[b].ei
+}
+func (s *lsMoveSorter) Swap(a, b int) { s.moves[a], s.moves[b] = s.moves[b], s.moves[a] }
+
+const lsEps = 1e-12
+
+// localSearchRun seeds from Greedy and sweeps until no move applies or
+// maxPasses is exhausted.  procs <= 0 selects GOMAXPROCS with the
+// small-market serial cutoff; 1 forces the serial reference path.  All
+// scratch lives in ws; the returned selection is freshly allocated.
+func localSearchRun(p *Problem, kind WeightKind, maxPasses, procs int, ws *Workspace) []int {
+	seed := greedyInto(p, kind, ws)
 	if maxPasses <= 0 {
 		maxPasses = 8
 	}
+	nE := len(p.Edges)
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+		if nE < parallelLSCutoff {
+			procs = 1
+		}
+	}
+	if procs > nE {
+		procs = nE
+	}
+	if procs < 1 {
+		procs = 1
+	}
 
-	chosen := make([]bool, len(p.Edges))
-	capW := p.CapacityW()
-	capT := p.CapacityT()
-	for _, ei := range sel {
+	nW, nT := p.In.NumWorkers(), p.In.NumTasks()
+	// greedyInto left capW/capT at post-greedy residuals — exactly the
+	// chosen-state capacities the sweeps need.
+	capW, capT := ws.capW, ws.capT
+	ws.chosen = growBoolZero(ws.chosen, nE)
+	chosen := ws.chosen
+	for _, ei := range seed {
 		chosen[ei] = true
-		capW[p.Edges[ei].W]--
-		capT[p.Edges[ei].T]--
 	}
-	weight := func(ei int) float64 { return p.Edges[ei].Weight(s.Kind) }
+	ws.edgeWt = growF64(ws.edgeWt, nE)
+	wt := ws.edgeWt
+	extractWeights(p, kind, identityOrderWS(ws, nE), wt)
 
-	// cheapestChosen returns the minimum-weight chosen edge incident to the
-	// given side's vertex, or -1 when none is chosen.
-	cheapestChosenW := func(w int) int {
-		best, bw := -1, 0.0
-		for _, ei := range p.AdjW(w) {
-			if chosen[ei] && (best == -1 || weight(int(ei)) < bw) {
-				best, bw = int(ei), weight(int(ei))
-			}
-		}
-		return best
+	ws.minChosenW = growI32(ws.minChosenW, nW)
+	ws.bestAddW = growI32(ws.bestAddW, nW)
+	ws.minChosenT = growI32(ws.minChosenT, nT)
+	ws.bestAddT = growI32(ws.bestAddT, nT)
+	ws.touchedW = growBoolZero(ws.touchedW, nW)
+	ws.touchedT = growBoolZero(ws.touchedT, nT)
+	if cap(ws.moveBufs) < procs {
+		ws.moveBufs = make([][]lsMove, procs)
 	}
-	cheapestChosenT := func(t int) int {
-		best, bw := -1, 0.0
-		for _, ei := range p.AdjT(t) {
-			if chosen[ei] && (best == -1 || weight(int(ei)) < bw) {
-				best, bw = int(ei), weight(int(ei))
-			}
-		}
-		return best
-	}
-	evict := func(ei int) {
-		chosen[ei] = false
-		capW[p.Edges[ei].W]++
-		capT[p.Edges[ei].T]++
-	}
-	take := func(ei int) {
-		chosen[ei] = true
-		capW[p.Edges[ei].W]--
-		capT[p.Edges[ei].T]--
+	ws.moveBufs = ws.moveBufs[:procs]
+
+	// The shared state lives in the workspace and the sweeps are passed as
+	// method expressions, so a pass allocates nothing (method *values* like
+	// ls.sweepWorkers would each heap-allocate a closure).
+	ls := &ws.ls
+	*ls = lsState{
+		p: p, wt: wt, chosen: chosen, capW: capW, capT: capT,
+		minChosenW: ws.minChosenW, minChosenT: ws.minChosenT,
+		bestAddW: ws.bestAddW, bestAddT: ws.bestAddT,
 	}
 
-	// bestAddableW returns the heaviest unchosen edge at worker w whose task
-	// side has spare capacity (assuming w itself has spare capacity), or -1.
-	bestAddableW := func(w, exclude int) int {
-		best, bw := -1, 0.0
-		for _, ei := range p.AdjW(w) {
-			if int(ei) == exclude || chosen[ei] {
-				continue
-			}
-			if capT[p.Edges[ei].T] > 0 && (best == -1 || weight(int(ei)) > bw) {
-				best, bw = int(ei), weight(int(ei))
-			}
-		}
-		return best
-	}
-	bestAddableT := func(t, exclude int) int {
-		best, bw := -1, 0.0
-		for _, ei := range p.AdjT(t) {
-			if int(ei) == exclude || chosen[ei] {
-				continue
-			}
-			if capW[p.Edges[ei].W] > 0 && (best == -1 || weight(int(ei)) > bw) {
-				best, bw = int(ei), weight(int(ei))
-			}
-		}
-		return best
-	}
-
-	const eps = 1e-12
 	for pass := 0; pass < maxPasses; pass++ {
-		improved := false
-		// Rotate moves: try replacing each chosen edge with the best pair of
-		// edges its eviction unlocks.
-		for ei := 0; ei < len(p.Edges); ei++ {
-			if !chosen[ei] {
-				continue
-			}
-			e := &p.Edges[ei]
-			evict(ei)
-			a := bestAddableW(e.W, ei)
-			b := bestAddableT(e.T, ei)
-			gain := -weight(ei)
-			if a >= 0 {
-				gain += weight(a)
-			}
-			if b >= 0 {
-				gain += weight(b)
-			}
-			if gain > eps && (a >= 0 || b >= 0) {
-				if a >= 0 {
-					take(a)
-				}
-				if b >= 0 {
-					// a may have consumed the last capacity b needed; re-check.
-					eb := &p.Edges[b]
-					if capW[eb.W] > 0 && capT[eb.T] > 0 {
-						take(b)
-					} else if a >= 0 && weight(a) > weight(ei)+eps {
-						// keep a alone if it still wins outright
-					} else {
-						// revert entirely
-						if a >= 0 {
-							evict(a)
-						}
-						take(ei)
-						continue
-					}
-				}
-				improved = true
-			} else {
-				take(ei) // revert
+		// Phase 1 (parallel): per-vertex tables against the frozen state.
+		lsParallel(nW, procs, ls, (*lsState).sweepWorkers)
+		lsParallel(nT, procs, ls, (*lsState).sweepTasks)
+
+		// Phase 2 (parallel): one candidate move per edge, collected into
+		// per-range buffers whose concatenation is ascending in edge index.
+		lsParallel2(nE, procs, ws.moveBufs, ls, (*lsState).scanRange)
+		ws.moves = ws.moves[:0]
+		for _, buf := range ws.moveBufs {
+			ws.moves = append(ws.moves, buf...)
+		}
+		if len(ws.moves) == 0 {
+			break
+		}
+
+		// Phase 3 (serial): apply best-gain-first with a vertex conflict
+		// filter, so every applied move's frozen gain stays exact.
+		ws.moveSorter.moves = ws.moves
+		sort.Sort(&ws.moveSorter)
+		ws.moveSorter.moves = nil
+		clear(ws.touchedW)
+		clear(ws.touchedT)
+		applied := false
+		for i := range ws.moves {
+			if ls.apply(&ws.moves[i], ws.touchedW, ws.touchedT) {
+				applied = true
 			}
 		}
-		for ei := range p.Edges {
-			if chosen[ei] {
-				continue
-			}
-			e := &p.Edges[ei]
-			we := weight(ei)
-			freeW := capW[e.W] > 0
-			freeT := capT[e.T] > 0
-			switch {
-			case freeW && freeT:
-				if we > eps {
-					take(ei)
-					improved = true
-				}
-			case freeW && !freeT:
-				out := cheapestChosenT(e.T)
-				if out >= 0 && we > weight(out)+eps {
-					evict(out)
-					take(ei)
-					improved = true
-				}
-			case !freeW && freeT:
-				out := cheapestChosenW(e.W)
-				if out >= 0 && we > weight(out)+eps {
-					evict(out)
-					take(ei)
-					improved = true
-				}
-			default:
-				outW := cheapestChosenW(e.W)
-				outT := cheapestChosenT(e.T)
-				if outW < 0 || outT < 0 {
-					continue // capacity zero on that side by construction
-				}
-				if outW == outT {
-					// The blocking edge is e's own (w,t) twin — impossible,
-					// pairs are unique — or a shared edge between the same
-					// endpoints; evicting it frees both sides at once.
-					if we > weight(outW)+eps {
-						evict(outW)
-						take(ei)
-						improved = true
-					}
-					continue
-				}
-				if we > weight(outW)+weight(outT)+eps {
-					evict(outW)
-					evict(outT)
-					take(ei)
-					improved = true
-				}
-			}
-		}
-		if !improved {
+		if !applied {
 			break
 		}
 	}
 
-	out := make([]int, 0, len(sel))
+	out := make([]int, 0, len(seed))
 	for ei, ok := range chosen {
 		if ok {
 			out = append(out, ei)
 		}
 	}
-	return out, nil
+	return out
+}
+
+// lsState bundles the shared read-mostly arrays of one local-search run so
+// the parallel sweeps close over a single pointer.
+type lsState struct {
+	p          *Problem
+	wt         []float64
+	chosen     []bool
+	capW, capT []int
+	// Per-pass vertex tables (edge index or -1):
+	minChosenW, minChosenT []int32 // cheapest chosen edge at the vertex
+	bestAddW, bestAddT     []int32 // heaviest unchosen edge whose far side has spare capacity
+}
+
+// sweepWorkers fills the worker tables for workers [lo, hi).  Strict
+// comparisons keep the first extremum in adjacency order, which is
+// ascending edge index — the deterministic tie-break.
+func (ls *lsState) sweepWorkers(lo, hi int) {
+	p := ls.p
+	for w := lo; w < hi; w++ {
+		minC, best := int32(-1), int32(-1)
+		var minWt, bestWt float64
+		for _, ei := range p.AdjW(w) {
+			if ls.chosen[ei] {
+				if minC < 0 || ls.wt[ei] < minWt {
+					minC, minWt = ei, ls.wt[ei]
+				}
+			} else if ls.capT[p.Edges[ei].T] > 0 {
+				if best < 0 || ls.wt[ei] > bestWt {
+					best, bestWt = ei, ls.wt[ei]
+				}
+			}
+		}
+		ls.minChosenW[w], ls.bestAddW[w] = minC, best
+	}
+}
+
+// sweepTasks fills the task tables for tasks [lo, hi).
+func (ls *lsState) sweepTasks(lo, hi int) {
+	p := ls.p
+	for t := lo; t < hi; t++ {
+		minC, best := int32(-1), int32(-1)
+		var minWt, bestWt float64
+		for _, ei := range p.AdjT(t) {
+			if ls.chosen[ei] {
+				if minC < 0 || ls.wt[ei] < minWt {
+					minC, minWt = ei, ls.wt[ei]
+				}
+			} else if ls.capW[p.Edges[ei].W] > 0 {
+				if best < 0 || ls.wt[ei] > bestWt {
+					best, bestWt = ei, ls.wt[ei]
+				}
+			}
+		}
+		ls.minChosenT[t], ls.bestAddT[t] = minC, best
+	}
+}
+
+// scanRange derives the best move of every edge in [lo, hi) from the vertex
+// tables.  Eligibility rests on two structural facts: worker-task pairs are
+// unique, so a rotate's two takes can never collide on a vertex (the
+// colliding edge would have to be the evicted pair itself), and an
+// exchange's two evictions can never be the same edge (it would have to be
+// the unchosen candidate).
+func (ls *lsState) scanRange(lo, hi int, out []lsMove) []lsMove {
+	p := ls.p
+	for ei := lo; ei < hi; ei++ {
+		e := &p.Edges[ei]
+		we := ls.wt[ei]
+		if ls.chosen[ei] {
+			a, b := ls.bestAddW[e.W], ls.bestAddT[e.T]
+			if a < 0 && b < 0 {
+				continue
+			}
+			gain := -we
+			if a >= 0 {
+				gain += ls.wt[a]
+			}
+			if b >= 0 {
+				gain += ls.wt[b]
+			}
+			if gain > lsEps {
+				out = append(out, lsMove{gain: gain, ei: int32(ei), a: a, b: b, rotate: true})
+			}
+			continue
+		}
+		freeW, freeT := ls.capW[e.W] > 0, ls.capT[e.T] > 0
+		switch {
+		case freeW && freeT:
+			if we > lsEps {
+				out = append(out, lsMove{gain: we, ei: int32(ei), a: -1, b: -1})
+			}
+		case freeW:
+			if out2 := ls.minChosenT[e.T]; out2 >= 0 && we > ls.wt[out2]+lsEps {
+				out = append(out, lsMove{gain: we - ls.wt[out2], ei: int32(ei), a: -1, b: out2})
+			}
+		case freeT:
+			if out1 := ls.minChosenW[e.W]; out1 >= 0 && we > ls.wt[out1]+lsEps {
+				out = append(out, lsMove{gain: we - ls.wt[out1], ei: int32(ei), a: out1, b: -1})
+			}
+		default:
+			out1, out2 := ls.minChosenW[e.W], ls.minChosenT[e.T]
+			if out1 < 0 || out2 < 0 {
+				continue // capacity zero on that side by construction
+			}
+			if we > ls.wt[out1]+ls.wt[out2]+lsEps {
+				out = append(out, lsMove{gain: we - ls.wt[out1] - ls.wt[out2], ei: int32(ei), a: out1, b: out2})
+			}
+		}
+	}
+	return out
+}
+
+// apply executes mv unless any involved vertex was already touched this
+// pass, marking all involved vertices on success.  A move involves its
+// primary edge's endpoints plus the far endpoint of each companion edge
+// (the near endpoint coincides with the primary's by construction).
+func (ls *lsState) apply(mv *lsMove, touchedW, touchedT []bool) bool {
+	p := ls.p
+	e := &p.Edges[mv.ei]
+	wA, tB := -1, -1 // far endpoints of the companions
+	if mv.a >= 0 {
+		tB2 := p.Edges[mv.a].T
+		if touchedT[tB2] {
+			return false
+		}
+		tB = tB2
+	}
+	if mv.b >= 0 {
+		wA2 := p.Edges[mv.b].W
+		if touchedW[wA2] {
+			return false
+		}
+		wA = wA2
+	}
+	if touchedW[e.W] || touchedT[e.T] {
+		return false
+	}
+	touchedW[e.W], touchedT[e.T] = true, true
+	if wA >= 0 {
+		touchedW[wA] = true
+	}
+	if tB >= 0 {
+		touchedT[tB] = true
+	}
+	if mv.rotate {
+		ls.evict(int(mv.ei))
+		if mv.a >= 0 {
+			ls.take(int(mv.a))
+		}
+		if mv.b >= 0 {
+			ls.take(int(mv.b))
+		}
+	} else {
+		if mv.a >= 0 {
+			ls.evict(int(mv.a))
+		}
+		if mv.b >= 0 {
+			ls.evict(int(mv.b))
+		}
+		ls.take(int(mv.ei))
+	}
+	return true
+}
+
+func (ls *lsState) evict(ei int) {
+	ls.chosen[ei] = false
+	ls.capW[ls.p.Edges[ei].W]++
+	ls.capT[ls.p.Edges[ei].T]++
+}
+
+func (ls *lsState) take(ei int) {
+	ls.chosen[ei] = true
+	ls.capW[ls.p.Edges[ei].W]--
+	ls.capT[ls.p.Edges[ei].T]--
+}
+
+// lsParallel runs f(ls, lo, hi) over [0, n) split into procs contiguous
+// ranges.  f is a method expression, not a method value, so the serial path
+// performs zero allocations.
+func lsParallel(n, procs int, ls *lsState, f func(*lsState, int, int)) {
+	if procs <= 1 || n == 0 {
+		f(ls, 0, n)
+		return
+	}
+	chunk := (n + procs - 1) / procs
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(ls, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// lsParallel2 runs f over [0, n) split into len(bufs) contiguous ranges,
+// giving range k the reusable buffer bufs[k] (reset to length zero) and
+// storing f's result back, so the concatenation of bufs is ordered by range.
+func lsParallel2(n, procs int, bufs [][]lsMove, ls *lsState, f func(*lsState, int, int, []lsMove) []lsMove) {
+	if procs <= 1 || n == 0 {
+		bufs[0] = f(ls, 0, n, bufs[0][:0])
+		for k := 1; k < len(bufs); k++ {
+			bufs[k] = bufs[k][:0]
+		}
+		return
+	}
+	chunk := (n + procs - 1) / procs
+	var wg sync.WaitGroup
+	k := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			bufs[k] = f(ls, lo, hi, bufs[k][:0])
+		}(k, lo, hi)
+		k++
+	}
+	for ; k < len(bufs); k++ {
+		bufs[k] = bufs[k][:0]
+	}
+	wg.Wait()
 }

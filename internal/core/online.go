@@ -29,11 +29,17 @@ import (
 //	                 when nothing qualifies), reserving scarce slots for
 //	                 high-benefit pairs.  This mirrors the two-phase TGOA
 //	                 idea from the GOMA paper.
+//
+// All four policies route their arrival orders, capacity arrays and
+// per-arrival candidate sorts through a Workspace, so the round loop of the
+// live platform can replay them allocation-lean.
 
 // OnlineGreedy assigns each arriving worker its highest-value available
 // edges up to capacity.
 type OnlineGreedy struct {
 	Kind WeightKind
+	// WS optionally pins a reusable workspace.
+	WS *Workspace
 }
 
 // Name implements Solver.
@@ -41,11 +47,14 @@ func (OnlineGreedy) Name() string { return "online-greedy" }
 
 // Solve implements Solver.  The RNG draws the arrival order.
 func (s OnlineGreedy) Solve(p *Problem, r *stats.RNG) ([]int, error) {
-	arrival := r.Perm(p.In.NumWorkers())
-	capT := p.CapacityT()
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	ws.ints = r.PermInto(ws.ints, p.In.NumWorkers())
+	arrival := ws.ints
+	capT := p.capacityTInto(ws)
 	var sel []int
 	for _, w := range arrival {
-		sel = appendBestEdges(p, s.Kind, w, capT, sel, p.In.Workers[w].Capacity, math.Inf(-1))
+		sel = appendBestEdges(p, s.Kind, w, capT, sel, p.In.Workers[w].Capacity, math.Inf(-1), ws)
 	}
 	return sel, nil
 }
@@ -53,6 +62,8 @@ func (s OnlineGreedy) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 // OnlineRanking perturbs task desirability with fixed random priorities.
 type OnlineRanking struct {
 	Kind WeightKind
+	// WS optionally pins a reusable workspace.
+	WS *Workspace
 }
 
 // Name implements Solver.
@@ -61,7 +72,10 @@ func (OnlineRanking) Name() string { return "online-ranking" }
 // Solve implements Solver.  The RNG draws both the arrival order and the
 // task priorities.
 func (s OnlineRanking) Solve(p *Problem, r *stats.RNG) ([]int, error) {
-	arrival := r.Perm(p.In.NumWorkers())
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	ws.ints = r.PermInto(ws.ints, p.In.NumWorkers())
+	arrival := ws.ints
 	// Classic Ranking discount: an edge to task t is valued w·(1 − e^{u−1})
 	// with u ~ U[0,1); low-u tasks are "spent" first, saving contested tasks
 	// for later arrivals.
@@ -69,7 +83,7 @@ func (s OnlineRanking) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 	for t := range prio {
 		prio[t] = 1 - math.Exp(r.Float64()-1)
 	}
-	capT := p.CapacityT()
+	capT := p.capacityTInto(ws)
 	var sel []int
 	for _, w := range arrival {
 		need := p.In.Workers[w].Capacity
@@ -117,6 +131,8 @@ type OnlineTwoPhase struct {
 	// ThresholdQuantile is the quantile of observed assigned-edge values used
 	// as the acceptance bar in phase two; 0 means the default 0.5 (median).
 	ThresholdQuantile float64
+	// WS optionally pins a reusable workspace.
+	WS *Workspace
 }
 
 // Name implements Solver.
@@ -124,6 +140,8 @@ func (OnlineTwoPhase) Name() string { return "online-twophase" }
 
 // Solve implements Solver.  The RNG draws the arrival order.
 func (s OnlineTwoPhase) Solve(p *Problem, r *stats.RNG) ([]int, error) {
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
 	frac := s.SampleFrac
 	if frac <= 0 || frac >= 1 {
 		frac = 1 / math.E
@@ -132,9 +150,10 @@ func (s OnlineTwoPhase) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 	if quant <= 0 || quant >= 1 {
 		quant = 0.5
 	}
-	arrival := r.Perm(p.In.NumWorkers())
+	ws.ints = r.PermInto(ws.ints, p.In.NumWorkers())
+	arrival := ws.ints
 	cut := int(math.Ceil(frac * float64(len(arrival))))
-	capT := p.CapacityT()
+	capT := p.capacityTInto(ws)
 	var sel []int
 
 	// Phase 1: assign greedily (refusing everyone would waste real benefit)
@@ -142,7 +161,7 @@ func (s OnlineTwoPhase) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 	var observed []float64
 	for _, w := range arrival[:cut] {
 		before := len(sel)
-		sel = appendBestEdges(p, s.Kind, w, capT, sel, p.In.Workers[w].Capacity, math.Inf(-1))
+		sel = appendBestEdges(p, s.Kind, w, capT, sel, p.In.Workers[w].Capacity, math.Inf(-1), ws)
 		for _, ei := range sel[before:] {
 			observed = append(observed, p.Edges[ei].Weight(s.Kind))
 		}
@@ -158,9 +177,9 @@ func (s OnlineTwoPhase) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 	// policy never strands supply outright.
 	for _, w := range arrival[cut:] {
 		before := len(sel)
-		sel = appendBestEdges(p, s.Kind, w, capT, sel, p.In.Workers[w].Capacity, threshold)
+		sel = appendBestEdges(p, s.Kind, w, capT, sel, p.In.Workers[w].Capacity, threshold, ws)
 		if len(sel) == before && p.In.Workers[w].Capacity > 0 {
-			sel = appendBestEdges(p, s.Kind, w, capT, sel, 1, math.Inf(-1))
+			sel = appendBestEdges(p, s.Kind, w, capT, sel, 1, math.Inf(-1), ws)
 		}
 	}
 	return sel, nil
@@ -173,6 +192,8 @@ func (s OnlineTwoPhase) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 // up to its replication requirement.
 type OnlineTaskGreedy struct {
 	Kind WeightKind
+	// WS optionally pins a reusable workspace.
+	WS *Workspace
 }
 
 // Name implements Solver.
@@ -180,26 +201,23 @@ func (OnlineTaskGreedy) Name() string { return "online-task-greedy" }
 
 // Solve implements Solver.  The RNG draws the task arrival order.
 func (s OnlineTaskGreedy) Solve(p *Problem, r *stats.RNG) ([]int, error) {
-	arrival := r.Perm(p.In.NumTasks())
-	capW := p.CapacityW()
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	ws.ints = r.PermInto(ws.ints, p.In.NumTasks())
+	arrival := ws.ints
+	capW := p.capacityWInto(ws)
 	var sel []int
 	for _, t := range arrival {
 		need := p.In.Tasks[t].Replication
 		adj := p.AdjT(t)
-		order := make([]int, 0, len(adj))
+		ws.order = growI32(ws.order, len(adj))[:0]
+		order := ws.order
 		for _, ei := range adj {
 			if capW[p.Edges[ei].W] > 0 {
-				order = append(order, int(ei))
+				order = append(order, ei)
 			}
 		}
-		sort.Slice(order, func(a, b int) bool {
-			wa := p.Edges[order[a]].Weight(s.Kind)
-			wb := p.Edges[order[b]].Weight(s.Kind)
-			if wa != wb {
-				return wa > wb
-			}
-			return order[a] < order[b]
-		})
+		sortEdgesByWeightWS(p, s.Kind, order, ws)
 		for _, ei := range order {
 			if need == 0 {
 				break
@@ -208,7 +226,7 @@ func (s OnlineTaskGreedy) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 			if capW[e.W] > 0 {
 				capW[e.W]--
 				need--
-				sel = append(sel, ei)
+				sel = append(sel, int(ei))
 			}
 		}
 	}
@@ -217,27 +235,21 @@ func (s OnlineTaskGreedy) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 
 // appendBestEdges gives worker w up to limit of its best available edges
 // with value >= minValue, decrementing capT in place, and returns the
-// extended selection.
-func appendBestEdges(p *Problem, kind WeightKind, w int, capT []int, sel []int, limit int, minValue float64) []int {
+// extended selection.  Candidate collection and the weight sort run in ws.
+func appendBestEdges(p *Problem, kind WeightKind, w int, capT []int, sel []int, limit int, minValue float64, ws *Workspace) []int {
 	if limit <= 0 {
 		return sel
 	}
 	adj := p.AdjW(w)
-	order := make([]int, 0, len(adj))
+	ws.order = growI32(ws.order, len(adj))[:0]
+	order := ws.order
 	for _, ei := range adj {
 		e := &p.Edges[ei]
 		if capT[e.T] > 0 && e.Weight(kind) >= minValue {
-			order = append(order, int(ei))
+			order = append(order, ei)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		wa := p.Edges[order[a]].Weight(kind)
-		wb := p.Edges[order[b]].Weight(kind)
-		if wa != wb {
-			return wa > wb
-		}
-		return order[a] < order[b]
-	})
+	sortEdgesByWeightWS(p, kind, order, ws)
 	for _, ei := range order {
 		if limit == 0 {
 			break
@@ -246,7 +258,7 @@ func appendBestEdges(p *Problem, kind WeightKind, w int, capT []int, sel []int, 
 		if capT[e.T] > 0 {
 			capT[e.T]--
 			limit--
-			sel = append(sel, ei)
+			sel = append(sel, int(ei))
 		}
 	}
 	return sel

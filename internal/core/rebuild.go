@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/benefit"
+	"repro/internal/market"
+)
+
+// RebuildProblem rebuilds prev in place for a new instance, reusing every
+// backing array of the previous build that is still large enough — the
+// edge arena, both CSR adjacency arrays, both offset arrays and the
+// counting scratch.  When the market shape is stable round over round (the
+// steady state of the serving loop), a rebuild's only fresh allocation is
+// the benefit model's memo tables.
+//
+// The returned Problem is prev itself: its previous Edges and adjacency are
+// overwritten, so the caller must be the sole owner of prev and must not
+// retain views into it across rebuilds (the platform service copies
+// assignment pairs out of each round's result before the next rebuild).
+// A nil prev is equivalent to NewProblem.
+func RebuildProblem(prev *Problem, in *market.Instance, params benefit.Params) (*Problem, error) {
+	if prev == nil {
+		return NewProblem(in, params)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := benefit.NewModel(in, params)
+	if err != nil {
+		return nil, err
+	}
+	prev.In, prev.Model = in, model
+	prev.build(0)
+	return prev, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+)
+
+// RebuildProblem must be indistinguishable from NewProblem — same edges,
+// same adjacency, bit for bit — whatever shape the previous build had:
+// larger, smaller, or wildly different category structure.
+func TestRebuildProblemMatchesNewProblem(t *testing.T) {
+	cfgs := []market.Config{
+		market.FreelanceTraceConfig(60, 45),
+		{Name: "tiny", NumWorkers: 5, NumTasks: 4, NumCategories: 2, MaxSpecialties: 2},
+		market.MicrotaskTraceConfig(80, 120),
+		{Name: "mid", NumWorkers: 40, NumTasks: 40},
+		market.FreelanceTraceConfig(60, 45), // back to the first shape
+	}
+	var prev *Problem
+	for i, cfg := range cfgs {
+		in := market.MustGenerate(cfg, uint64(100+i))
+		ref, err := NewProblem(in, benefit.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err = RebuildProblem(prev, in, benefit.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameProblem(t, cfg.Name, ref, prev)
+	}
+}
+
+// TestRebuildProblemNilPrev pins the nil-prev convenience path.
+func TestRebuildProblemNilPrev(t *testing.T) {
+	in := market.MustGenerate(market.Config{NumWorkers: 10, NumTasks: 10}, 3)
+	p, err := RebuildProblem(nil, in, benefit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MustNewProblem(in, benefit.DefaultParams())
+	assertSameProblem(t, "nil-prev", ref, p)
+}
+
+// TestRebuildProblemReusesArenas verifies the point of the exercise: a
+// same-shape rebuild keeps the previous edge arena and CSR arrays instead
+// of reallocating them.
+func TestRebuildProblemReusesArenas(t *testing.T) {
+	in1 := market.MustGenerate(market.FreelanceTraceConfig(50, 40), 1)
+	in2 := market.MustGenerate(market.FreelanceTraceConfig(50, 40), 2)
+	p, err := NewProblem(in1, benefit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges1, adjW1 := &p.Edges[0], &p.adjW[0]
+	capE, capA := cap(p.Edges), cap(p.adjW)
+	p2, err := RebuildProblem(p, in2, benefit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Fatal("RebuildProblem returned a different Problem")
+	}
+	if len(p2.Edges) == 0 {
+		t.Fatal("rebuilt problem has no edges")
+	}
+	// Same-shape generators need not produce the same edge count, but the
+	// arena must be reused whenever it still fits.
+	if len(p2.Edges) <= capE && &p2.Edges[0] != edges1 {
+		t.Error("edge arena was reallocated on a fitting rebuild")
+	}
+	if len(p2.adjW) <= capA && &p2.adjW[0] != adjW1 {
+		t.Error("adjW was reallocated on a fitting rebuild")
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"os"
+	"regexp"
+	"slices"
+	"testing"
+)
+
+// TestReadmeSolverTableInSync keeps the README's algorithm table and the
+// solver registry in lock-step, in both directions: every registered name
+// must have a table row, and every table row must name a registered solver.
+func TestReadmeSolverTableInSync(t *testing.T) {
+	raw, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	// Table rows look like: | `name` | family | weight handling |
+	rowRE := regexp.MustCompile("(?m)^\\| `([a-z0-9-]+)` \\|")
+	var documented []string
+	for _, m := range rowRE.FindAllStringSubmatch(string(raw), -1) {
+		documented = append(documented, m[1])
+	}
+	if len(documented) == 0 {
+		t.Fatal("no solver table rows found in README.md")
+	}
+	slices.Sort(documented)
+	registered := SolverNames()
+	if !slices.Equal(documented, registered) {
+		for _, name := range registered {
+			if !slices.Contains(documented, name) {
+				t.Errorf("registered solver %q has no README table row", name)
+			}
+		}
+		for _, name := range documented {
+			if !slices.Contains(registered, name) {
+				t.Errorf("README documents %q which is not in the registry", name)
+			}
+		}
+	}
+}

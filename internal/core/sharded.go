@@ -21,6 +21,9 @@ type ShardedGreedy struct {
 	Kind WeightKind
 	// Shards is the parallelism degree; 0 means GOMAXPROCS capped at 16.
 	Shards int
+	// WS optionally pins a reusable workspace for the sequential phases;
+	// each shard goroutine borrows its own from the package pool.
+	WS *Workspace
 }
 
 // Name implements Solver.
@@ -53,25 +56,34 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 		shards = len(p.Edges)
 	}
 
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+
 	// Phase 1 (parallel): per-shard optimistic greedy.  Shard k owns tasks
 	// with t % shards == k; every shard assumes it has each worker's full
-	// capacity.
+	// capacity.  Each goroutine borrows a private workspace from the pool
+	// and copies its picks out before returning it.
 	shardPicks := make([][]int, shards)
 	var wg sync.WaitGroup
 	for k := 0; k < shards; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			sws, spooled := acquireWorkspace(nil)
+			defer releaseWorkspace(sws, spooled)
 			n := 0
 			for t := k; t < nT; t += shards {
 				n += len(p.AdjT(t))
 			}
-			edges := make([]int32, 0, n)
+			sws.order = growI32(sws.order, n)[:0]
+			edges := sws.order
 			for t := k; t < nT; t += shards {
 				edges = append(edges, p.AdjT(t)...)
 			}
-			sortEdgesByWeight(p, s.Kind, edges)
-			shardPicks[k] = takeFeasible(p, edges, p.CapacityW(), p.CapacityT(), nil)
+			sortEdgesByWeightWS(p, s.Kind, edges, sws)
+			sws.sel = growInts(sws.sel, 0)[:0]
+			sws.sel = takeFeasible(p, edges, p.capacityWInto(sws), p.capacityTInto(sws), sws.sel)
+			shardPicks[k] = copySel(sws.sel)
 		}(k)
 	}
 	wg.Wait()
@@ -83,15 +95,18 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 	for _, picks := range shardPicks {
 		n += len(picks)
 	}
-	union := make([]int, 0, n)
+	ws.intsB = growInts(ws.intsB, n)[:0]
+	union := ws.intsB
 	for _, picks := range shardPicks {
 		union = append(union, picks...)
 	}
-	sortEdgesByWeight(p, s.Kind, union)
-	capW := p.CapacityW()
-	capT := p.CapacityT()
-	taken := make([]bool, len(p.Edges))
-	var sel []int
+	sortIntEdgesByWeightWS(p, s.Kind, union, ws)
+	capW := p.capacityWInto(ws)
+	capT := p.capacityTInto(ws)
+	ws.chosen = growBoolZero(ws.chosen, len(p.Edges))
+	taken := ws.chosen
+	ws.sel = growInts(ws.sel, 0)[:0]
+	sel := ws.sel
 	for _, ei := range union {
 		e := &p.Edges[ei]
 		if !taken[ei] && capW[e.W] > 0 && capT[e.T] > 0 {
@@ -109,13 +124,14 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 			continue
 		}
 		adj := p.AdjT(t)
-		cands := make([]int32, 0, len(adj))
+		ws.order = growI32(ws.order, len(adj))[:0]
+		cands := ws.order
 		for _, ei := range adj {
 			if !taken[ei] && capW[p.Edges[ei].W] > 0 {
 				cands = append(cands, ei)
 			}
 		}
-		sortEdgesByWeight(p, s.Kind, cands)
+		sortEdgesByWeightWS(p, s.Kind, cands, ws)
 		for _, ei := range cands {
 			if capT[t] == 0 {
 				break
@@ -129,5 +145,6 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 			}
 		}
 	}
-	return sel, nil
+	ws.sel = sel
+	return copySel(sel), nil
 }

@@ -1,0 +1,118 @@
+package experiments
+
+// Benchmark-regression comparison behind `mbabench -benchdiff` and `make
+// bench-diff`: load a checked-in baseline report, re-run the suites it
+// records, and fail on any entry that got more than tolerance slower (or
+// meaningfully more allocation-hungry).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DefaultBenchTolerance is the fractional ns/op slowdown bench-diff allows
+// before declaring a regression.
+const DefaultBenchTolerance = 0.25
+
+// benchDiffFloorNs exempts very fast entries from the ns/op gate: below
+// ~50µs per op, scheduler noise on a busy host can exceed any reasonable
+// tolerance.  Such entries are still printed and still gate on allocations.
+const benchDiffFloorNs = 50e3
+
+// benchDiffAllocSlack is the absolute allocs/op increase tolerated before
+// the relative gate applies, so entries near zero allocations do not fail
+// on a ±1 wobble.
+const benchDiffAllocSlack = 8
+
+// LoadBenchReport reads a report previously written by RunBenchJSON.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("experiments: %s has schema %q, want %q (regenerate with `make benchjson`)",
+			path, rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}
+
+func benchKey(r BenchResult) string { return r.Suite + "/" + r.Scale + "/" + r.Name }
+
+// MergeBenchMin combines two runs of the same suites into one report
+// holding, per benchmark key, the sample with the lower ns/op.  Min is the
+// right statistic for wall-clock benchmarks — external interference only
+// ever adds time — so diffing against the merged report gates on what the
+// code can do, not on what the scheduler did to one particular run.
+// Entries present in only one run are kept as-is.
+func MergeBenchMin(a, b *BenchReport) *BenchReport {
+	merged := *a
+	merged.Results = append([]BenchResult(nil), a.Results...)
+	byKey := make(map[string]int, len(merged.Results))
+	for i, r := range merged.Results {
+		byKey[benchKey(r)] = i
+	}
+	for _, r := range b.Results {
+		if i, ok := byKey[benchKey(r)]; ok {
+			if r.NsPerOp < merged.Results[i].NsPerOp {
+				merged.Results[i] = r
+			}
+		} else {
+			merged.Results = append(merged.Results, r)
+		}
+	}
+	return &merged
+}
+
+// DiffBench compares a fresh run against a baseline, printing one line per
+// baseline entry to log, and returns the regression messages (empty means
+// the run is clean).  An entry missing from the fresh run is a regression —
+// a suite that silently stopped running is not a pass.  Entries only in the
+// fresh run are noted but do not fail, so adding benchmarks never breaks an
+// older baseline.
+func DiffBench(log io.Writer, baseline, fresh *BenchReport, tolerance float64) []string {
+	if tolerance <= 0 {
+		tolerance = DefaultBenchTolerance
+	}
+	freshBy := make(map[string]BenchResult, len(fresh.Results))
+	for _, r := range fresh.Results {
+		freshBy[benchKey(r)] = r
+	}
+	var regressions []string
+	for _, old := range baseline.Results {
+		k := benchKey(old)
+		now, ok := freshBy[k]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: present in baseline but missing from the fresh run", k))
+			fmt.Fprintf(log, "%-10s %-42s (missing from fresh run)\n", "MISSING", k)
+			continue
+		}
+		delete(freshBy, k)
+		status := "ok"
+		if old.NsPerOp >= benchDiffFloorNs && now.NsPerOp > old.NsPerOp*(1+tolerance) {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f -> %.0f ns/op (%.2fx, allowed %.2fx)",
+				k, old.NsPerOp, now.NsPerOp, now.NsPerOp/old.NsPerOp, 1+tolerance))
+		}
+		if now.AllocsPerOp > old.AllocsPerOp+benchDiffAllocSlack &&
+			float64(now.AllocsPerOp) > float64(old.AllocsPerOp)*(1+tolerance) {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d -> %d allocs/op", k, old.AllocsPerOp, now.AllocsPerOp))
+		}
+		fmt.Fprintf(log, "%-10s %-42s %12.0f -> %12.0f ns/op %7.2fx  %6d -> %6d allocs/op\n",
+			status, k, old.NsPerOp, now.NsPerOp, now.NsPerOp/old.NsPerOp,
+			old.AllocsPerOp, now.AllocsPerOp)
+	}
+	for k := range freshBy {
+		fmt.Fprintf(log, "%-10s %-42s (new entry, no baseline)\n", "new", k)
+	}
+	return regressions
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diffReport(results ...BenchResult) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Suites: []string{"solve"}, Results: results}
+}
+
+func slowEntry(name string, ns float64, allocs int64) BenchResult {
+	return BenchResult{Suite: "solve", Name: name, Scale: "small", NsPerOp: ns, AllocsPerOp: allocs, Iterations: 1}
+}
+
+// TestDiffBench exercises the regression gate entry by entry: within
+// tolerance passes, beyond tolerance fails, sub-floor noise is exempt,
+// alloc blow-ups fail even when ns/op is fine, missing entries fail, and
+// new entries do not.
+func TestDiffBench(t *testing.T) {
+	baseline := diffReport(
+		slowEntry("steady", 1e6, 10),
+		slowEntry("regressed", 1e6, 10),
+		slowEntry("noisy-fast", 1e3, 2),
+		slowEntry("alloc-blowup", 1e6, 2),
+		slowEntry("vanished", 1e6, 10),
+	)
+	fresh := diffReport(
+		slowEntry("steady", 1.2e6, 10),      // +20% < 25% tolerance
+		slowEntry("regressed", 1.5e6, 10),   // +50% ns/op
+		slowEntry("noisy-fast", 5e3, 2),     // 5x but under the ns floor
+		slowEntry("alloc-blowup", 1e6, 200), // allocs exploded, ns flat
+		slowEntry("brand-new", 1e6, 10),     // no baseline: informational
+	)
+	regs := DiffBench(io.Discard, baseline, fresh, 0.25)
+	joined := strings.Join(regs, "\n")
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions (ns, allocs, missing), got %d:\n%s", len(regs), joined)
+	}
+	for _, needle := range []string{"solve/small/regressed", "solve/small/alloc-blowup", "solve/small/vanished"} {
+		if !strings.Contains(joined, needle) {
+			t.Errorf("regressions missing %s:\n%s", needle, joined)
+		}
+	}
+	for _, clean := range []string{"steady", "noisy-fast", "brand-new"} {
+		if strings.Contains(joined, clean) {
+			t.Errorf("%s flagged as regression:\n%s", clean, joined)
+		}
+	}
+}
+
+// TestMergeBenchMin checks the best-of-two merge keeps the faster sample
+// per key and preserves entries unique to either run.
+func TestMergeBenchMin(t *testing.T) {
+	a := diffReport(
+		slowEntry("both", 2e6, 10),
+		slowEntry("only-a", 1e6, 1),
+	)
+	b := diffReport(
+		slowEntry("both", 1.5e6, 11),
+		slowEntry("only-b", 3e6, 2),
+	)
+	m := MergeBenchMin(a, b)
+	if len(m.Results) != 3 {
+		t.Fatalf("merged %d entries, want 3: %+v", len(m.Results), m.Results)
+	}
+	byName := map[string]BenchResult{}
+	for _, r := range m.Results {
+		byName[r.Name] = r
+	}
+	if got := byName["both"]; got.NsPerOp != 1.5e6 || got.AllocsPerOp != 11 {
+		t.Fatalf("merge kept %+v, want the faster whole sample", got)
+	}
+	if byName["only-a"].NsPerOp != 1e6 || byName["only-b"].NsPerOp != 3e6 {
+		t.Fatal("merge dropped or mangled run-unique entries")
+	}
+	if a.Results[0].NsPerOp != 2e6 {
+		t.Fatal("merge mutated its input report")
+	}
+}
+
+// TestLoadBenchReportRoundTrip writes a report and loads it back; a stale
+// schema must be rejected so bench-diff never compares across formats.
+func TestLoadBenchReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	rep := diffReport(slowEntry("steady", 1e6, 10))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0].Name != "steady" {
+		t.Fatalf("round-trip mangled report: %+v", back)
+	}
+
+	stale := filepath.Join(dir, "stale.json")
+	if err := os.WriteFile(stale, []byte(`{"schema":"mba-bench/v1","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchReport(stale); err == nil {
+		t.Fatal("v1 schema accepted by a v2 differ")
+	}
+}

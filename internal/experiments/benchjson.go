@@ -1,11 +1,22 @@
 package experiments
 
-// The benchmark-regression harness behind `mbabench -benchjson`: it times
-// problem construction (parallel vs the retained serial reference), the
-// feasibility check, and the solver line-up at three market scales with
-// testing.Benchmark, and emits a machine-readable report.  Future PRs
-// compare their run against the checked-in BENCH_construction.json to catch
-// performance regressions; the schema is documented in EXPERIMENTS.md.
+// The benchmark-regression harness behind `mbabench -benchjson`: three
+// suites of testing.Benchmark runs emitting one machine-readable report.
+//
+//   - "construction": problem construction (parallel vs the retained serial
+//     reference), the feasibility check, and the offline solver line-up at
+//     three market scales.  Checked in as BENCH_construction.json.
+//   - "solve": the steady-state serving path — same-shape RebuildProblem
+//     into retained arenas, and the greedy / sharded / local-search solvers
+//     with a pinned Workspace so repeated solves reuse their buffers.
+//     The O(E)-per-pass local search is cheap enough to run at every scale.
+//   - "round": an end-to-end platform round — snapshot, rebuild, solve,
+//     validate-and-commit — over a live Service with no journal attached.
+//
+// "solve" and "round" are checked in together as BENCH_solve.json.  Future
+// PRs compare a fresh run against the checked-in baselines (`mbabench
+// -benchdiff`, `make bench-diff`) to catch performance regressions; the
+// schema is documented in EXPERIMENTS.md.
 
 import (
 	"encoding/json"
@@ -17,16 +28,21 @@ import (
 	"repro/internal/benefit"
 	"repro/internal/core"
 	"repro/internal/market"
+	"repro/internal/platform"
 	"repro/internal/stats"
 )
 
 // BenchSchema identifies the report format; bump when fields change.
-const BenchSchema = "mba-bench/v1"
+// v2 added the per-result "suite" field and the report-level "suites" list.
+const BenchSchema = "mba-bench/v2"
 
 // benchExactEdgeBudget caps the edge count at which the exact flow solver
-// and local search join the line-up (they are super-linear and would
-// dominate the harness's wall clock at the larger scales).
+// joins the construction line-up (it is super-linear and would dominate the
+// harness's wall clock at the larger scales).
 const benchExactEdgeBudget = 60000
+
+// BenchSuites lists the suites RunBenchJSON knows, in canonical order.
+func BenchSuites() []string { return []string{"construction", "solve", "round"} }
 
 // BenchScale is one market size of the regression harness.
 type BenchScale struct {
@@ -48,8 +64,11 @@ func DefaultBenchScales() []BenchScale {
 
 // BenchResult is one benchmark entry of the report.
 type BenchResult struct {
-	// Name is "new-problem", "new-problem-serial", "feasible", or a solver
-	// name as reported by Solver.Name().
+	// Suite is the suite the entry belongs to ("construction", "solve",
+	// "round").
+	Suite string `json:"suite"`
+	// Name is "new-problem", "rebuild-problem", "close-round", … or a
+	// solver name as reported by Solver.Name().
 	Name string `json:"name"`
 	// Scale echoes the BenchScale the entry ran at.
 	Scale   string `json:"scale"`
@@ -63,12 +82,14 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// BenchReport is the top-level document written to BENCH_construction.json.
+// BenchReport is the top-level document written to BENCH_construction.json
+// and BENCH_solve.json.
 type BenchReport struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Seed       uint64        `json:"seed"`
+	Suites     []string      `json:"suites"`
 	Results    []BenchResult `json:"results"`
 }
 
@@ -84,9 +105,11 @@ type BenchConfig struct {
 	Seed uint64
 	// Scales defaults to DefaultBenchScales.
 	Scales []BenchScale
-	// Solvers defaults to the greedy family plus the baselines (with exact
-	// and local-search joining below benchExactEdgeBudget edges).  Tests
-	// override it to keep the harness fast.
+	// Suites defaults to {"construction"}.
+	Suites []string
+	// Solvers overrides the solver line-up of the construction and solve
+	// suites (the round suite always solves with greedy).  Tests override
+	// it to keep the harness fast.
 	Solvers []core.Solver
 }
 
@@ -97,33 +120,70 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 	if len(scales) == 0 {
 		scales = DefaultBenchScales()
 	}
+	suites := cfg.Suites
+	if len(suites) == 0 {
+		suites = []string{"construction"}
+	}
 	rep := &BenchReport{
 		Schema:     BenchSchema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       cfg.Seed,
+		Suites:     suites,
 	}
-	for _, sc := range scales {
-		in, err := market.Generate(market.FreelanceTraceConfig(sc.Workers, sc.Tasks), cfg.Seed)
+	for _, suite := range suites {
+		var err error
+		switch suite {
+		case "construction":
+			err = runConstructionSuite(log, cfg, scales, rep)
+		case "solve":
+			err = runSolveSuite(log, cfg, scales, rep)
+		case "round":
+			err = runRoundSuite(log, cfg, scales, rep)
+		default:
+			err = fmt.Errorf("experiments: unknown bench suite %q (have %v)", suite, BenchSuites())
+		}
 		if err != nil {
 			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// benchAdder returns the append-and-log closure shared by all suites.
+func benchAdder(log io.Writer, rep *BenchReport, suite string, sc BenchScale, edges int) func(string, testing.BenchmarkResult) {
+	return func(name string, br testing.BenchmarkResult) {
+		rep.Results = append(rep.Results, BenchResult{
+			Suite: suite, Name: name, Scale: sc.Name,
+			Workers: sc.Workers, Tasks: sc.Tasks, Edges: edges,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(log, "%-13s %-8s %-20s %14.0f ns/op %10d allocs/op\n",
+			suite, sc.Name, name, float64(br.NsPerOp()), br.AllocsPerOp())
+	}
+}
+
+// benchInstance generates the freelance-trace workload for one scale.
+func benchInstance(sc BenchScale, seed uint64) (*market.Instance, error) {
+	return market.Generate(market.FreelanceTraceConfig(sc.Workers, sc.Tasks), seed)
+}
+
+// runConstructionSuite times problem construction, the feasibility check,
+// and the cold-path solver line-up (fresh workspaces every solve).
+func runConstructionSuite(log io.Writer, cfg BenchConfig, scales []BenchScale, rep *BenchReport) error {
+	for _, sc := range scales {
+		in, err := benchInstance(sc, cfg.Seed)
+		if err != nil {
+			return err
 		}
 		p, err := core.NewProblem(in, benefit.DefaultParams())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		add := func(name string, br testing.BenchmarkResult) {
-			rep.Results = append(rep.Results, BenchResult{
-				Name: name, Scale: sc.Name,
-				Workers: sc.Workers, Tasks: sc.Tasks, Edges: len(p.Edges),
-				Iterations:  br.N,
-				NsPerOp:     float64(br.NsPerOp()),
-				AllocsPerOp: br.AllocsPerOp(),
-				BytesPerOp:  br.AllocedBytesPerOp(),
-			})
-			fmt.Fprintf(log, "%-8s %-20s %14.0f ns/op %10d allocs/op\n",
-				sc.Name, name, float64(br.NsPerOp()), br.AllocsPerOp())
-		}
+		add := benchAdder(log, rep, "construction", sc, len(p.Edges))
 
 		add("new-problem", testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -144,7 +204,7 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 
 		sel, err := (core.Greedy{Kind: core.MutualWeight}).Solve(p, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		add("feasible", testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -164,12 +224,10 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 				core.ShardedGreedy{Kind: core.MutualWeight},
 				core.Random{},
 				core.RoundRobin{},
+				core.LocalSearch{Kind: core.MutualWeight},
 			}
 			if len(p.Edges) <= benchExactEdgeBudget {
-				solvers = append(solvers,
-					core.LocalSearch{Kind: core.MutualWeight},
-					core.Exact{Kind: core.MutualWeight},
-				)
+				solvers = append(solvers, core.Exact{Kind: core.MutualWeight})
 			}
 		}
 		for _, s := range solvers {
@@ -184,5 +242,116 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 			}))
 		}
 	}
-	return rep, nil
+	return nil
+}
+
+// runSolveSuite times the steady-state serving path: same-shape rebuilds
+// into retained arenas, and repeated solves through a pinned Workspace so
+// buffer reuse (not first-call allocation) is what gets measured.
+func runSolveSuite(log io.Writer, cfg BenchConfig, scales []BenchScale, rep *BenchReport) error {
+	for _, sc := range scales {
+		in, err := benchInstance(sc, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		p, err := core.NewProblem(in, benefit.DefaultParams())
+		if err != nil {
+			return err
+		}
+		add := benchAdder(log, rep, "solve", sc, len(p.Edges))
+
+		prev, err := core.NewProblem(in, benefit.DefaultParams())
+		if err != nil {
+			return err
+		}
+		add("rebuild-problem", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p2, err := core.RebuildProblem(prev, in, benefit.DefaultParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				prev = p2
+			}
+		}))
+
+		solvers := cfg.Solvers
+		if solvers == nil {
+			solvers = []core.Solver{
+				core.Greedy{Kind: core.MutualWeight, WS: &core.Workspace{}},
+				core.ShardedGreedy{Kind: core.MutualWeight, WS: &core.Workspace{}},
+				core.LocalSearch{Kind: core.MutualWeight, WS: &core.Workspace{}},
+				core.LocalSearchSerial{Kind: core.MutualWeight, WS: &core.Workspace{}},
+			}
+		}
+		for _, s := range solvers {
+			s := s
+			// Warm the pinned workspace so the entry reports steady-state
+			// allocation, not the first-call buffer growth.
+			if _, err := s.Solve(p, stats.NewRNG(0)); err != nil {
+				return err
+			}
+			add(s.Name(), testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(p, stats.NewRNG(uint64(i))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+	}
+	return nil
+}
+
+// runRoundSuite times an end-to-end platform round over a live Service:
+// snapshot under the state's read lock, rebuild into the previous round's
+// arenas, solve with greedy, then validate-and-commit.  No journal is
+// attached, so the entry isolates the round protocol from disk I/O.
+func runRoundSuite(log io.Writer, cfg BenchConfig, scales []BenchScale, rep *BenchReport) error {
+	for _, sc := range scales {
+		in, err := benchInstance(sc, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		p, err := core.NewProblem(in, benefit.DefaultParams())
+		if err != nil {
+			return err
+		}
+		add := benchAdder(log, rep, "round", sc, len(p.Edges))
+
+		state, err := platform.NewState(in.NumCategories)
+		if err != nil {
+			return err
+		}
+		for _, w := range in.Workers {
+			if _, err := state.Apply(platform.NewWorkerJoined(w)); err != nil {
+				return err
+			}
+		}
+		for _, t := range in.Tasks {
+			if _, err := state.Apply(platform.NewTaskPosted(t)); err != nil {
+				return err
+			}
+		}
+		solver := core.Greedy{Kind: core.MutualWeight, WS: &core.Workspace{}}
+		svc, err := platform.NewService(state, solver, benefit.DefaultParams(), nil, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		// Warm-up round: the first CloseRound pays the arena allocation that
+		// every later same-shape round reuses.
+		if _, err := svc.CloseRound(); err != nil {
+			return err
+		}
+		add("close-round", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.CloseRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	return nil
 }

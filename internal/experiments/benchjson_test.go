@@ -24,6 +24,9 @@ func TestRunBenchJSONTinyScale(t *testing.T) {
 	if rep.Schema != BenchSchema {
 		t.Fatalf("schema %q", rep.Schema)
 	}
+	if len(rep.Suites) != 1 || rep.Suites[0] != "construction" {
+		t.Fatalf("default suites %v, want [construction]", rep.Suites)
+	}
 	want := []string{"new-problem", "new-problem-serial", "feasible", "greedy"}
 	if len(rep.Results) != len(want) {
 		t.Fatalf("%d results, want %d", len(rep.Results), len(want))
@@ -32,6 +35,9 @@ func TestRunBenchJSONTinyScale(t *testing.T) {
 		r := rep.Results[i]
 		if r.Name != name {
 			t.Fatalf("result %d is %q, want %q", i, r.Name, name)
+		}
+		if r.Suite != "construction" {
+			t.Fatalf("%s: suite %q, want construction", name, r.Suite)
 		}
 		if r.NsPerOp <= 0 || r.Iterations <= 0 {
 			t.Fatalf("%s: ns/op %v iters %d not measured", name, r.NsPerOp, r.Iterations)
@@ -50,5 +56,46 @@ func TestRunBenchJSONTinyScale(t *testing.T) {
 	}
 	if len(back.Results) != len(rep.Results) {
 		t.Fatal("round-trip lost results")
+	}
+}
+
+// TestRunBenchJSONSolveAndRoundSuites runs the two serving-path suites at a
+// toy scale and checks every expected entry lands, tagged with its suite.
+func TestRunBenchJSONSolveAndRoundSuites(t *testing.T) {
+	rep, err := RunBenchJSON(io.Discard, BenchConfig{
+		Seed:    1,
+		Scales:  []BenchScale{{Name: "tiny", Workers: 30, Tasks: 20}},
+		Suites:  []string{"solve", "round"},
+		Solvers: []core.Solver{core.Greedy{Kind: core.MutualWeight, WS: &core.Workspace{}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct{ suite, name string }
+	want := []entry{
+		{"solve", "rebuild-problem"},
+		{"solve", "greedy"},
+		{"round", "close-round"},
+	}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("%d results, want %d: %+v", len(rep.Results), len(want), rep.Results)
+	}
+	for i, w := range want {
+		r := rep.Results[i]
+		if r.Suite != w.suite || r.Name != w.name {
+			t.Fatalf("result %d is %s/%s, want %s/%s", i, r.Suite, r.Name, w.suite, w.name)
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.Edges <= 0 {
+			t.Fatalf("%s/%s not measured: %+v", r.Suite, r.Name, r)
+		}
+	}
+}
+
+// TestRunBenchJSONUnknownSuite checks suite-name typos fail loudly instead
+// of silently benchmarking nothing.
+func TestRunBenchJSONUnknownSuite(t *testing.T) {
+	_, err := RunBenchJSON(io.Discard, BenchConfig{Seed: 1, Suites: []string{"sovle"}})
+	if err == nil {
+		t.Fatal("unknown suite accepted")
 	}
 }

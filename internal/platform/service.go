@@ -23,15 +23,31 @@ type RoundResult struct {
 	Round   int              `json:"round"`
 	Pairs   []AssignmentPair `json:"pairs"`
 	Metrics core.Metrics     `json:"metrics"`
+	// StalePairs counts assignments the solver produced that were dropped
+	// at commit time because their worker left or their task closed while
+	// the round was solving.  Metrics still describe the full solve-time
+	// assignment.
+	StalePairs int `json:"stale_pairs,omitempty"`
 }
 
 // Service runs assignment rounds over a live State with a fixed solver and
 // benefit parameters, optionally journaling every mutation to a Log.
 //
-// Concurrency model: events may be submitted from many goroutines;
-// CloseRound snapshots the state (read lock only) and solves outside any
-// lock, so a slow exact solve never blocks ingestion.  The round log append
-// and counter update serialise through the service mutex.
+// Concurrency model: events may be submitted from many goroutines at any
+// time, including while a round is closing.  CloseRound never holds the
+// service mutex across the expensive work — it snapshots the state (read
+// lock only), releases every lock, constructs and solves on the snapshot,
+// then re-acquires the state to validate the result against mutations that
+// interleaved with the solve (pairs whose endpoints vanished are dropped
+// and counted in RoundResult.StalePairs).  Rounds serialise among
+// themselves on roundMu, which also guards the previous round's Problem:
+// round N+1 rebuilds into round N's arenas (core.RebuildProblem), so the
+// steady-state serving loop stops re-allocating its largest data
+// structure.
+//
+// When a journal is attached, Submit holds the service mutex across
+// apply-and-append, so journal lines are written in strictly increasing
+// sequence order — the invariant ReadLog enforces on recovery.
 type Service struct {
 	mu     sync.Mutex
 	state  *State
@@ -39,6 +55,9 @@ type Service struct {
 	solver core.Solver
 	params benefit.Params
 	rng    *stats.RNG
+
+	roundMu sync.Mutex    // serialises CloseRound; guards prev
+	prev    *core.Problem // previous round's problem, reused as the next round's arena
 }
 
 // NewService wires a service.  log may be nil (no journaling).
@@ -64,19 +83,22 @@ func NewService(state *State, solver core.Solver, params benefit.Params, log *Lo
 // State exposes the underlying state (read-mostly use).
 func (s *Service) State() *State { return s.state }
 
-// Submit applies an event to the state and journals it.
+// Submit applies an event to the state and journals it.  With a journal
+// attached, the apply and the append happen atomically under the service
+// mutex: sequence numbers are assigned inside Apply, so interleaving two
+// Submits' apply and append phases would write the journal out of order.
 func (s *Service) Submit(e Event) (Event, error) {
+	if s.log == nil {
+		return s.state.Apply(e)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	applied, err := s.state.Apply(e)
 	if err != nil {
 		return Event{}, err
 	}
-	if s.log != nil {
-		s.mu.Lock()
-		err = s.log.Append(applied)
-		s.mu.Unlock()
-		if err != nil {
-			return Event{}, err
-		}
+	if err := s.log.Append(applied); err != nil {
+		return Event{}, err
 	}
 	return applied, nil
 }
@@ -86,14 +108,31 @@ func (s *Service) Submit(e Event) (Event, error) {
 // tasks are *not* removed automatically: platforms differ on whether a
 // task keeps collecting answers across rounds, so removal is the caller's
 // policy (see Server's drain parameter).
+//
+// The expensive middle — problem construction and the solve — runs on an
+// immutable snapshot with no lock held, so ingestion continues at full
+// rate while the round closes.  The result is then validated against the
+// live state: pairs whose worker or task disappeared during the solve are
+// dropped (counted in StalePairs) rather than handed out against entities
+// that no longer exist.
 func (s *Service) CloseRound() (*RoundResult, error) {
+	s.roundMu.Lock()
+	defer s.roundMu.Unlock()
+
+	// Phase 1: snapshot under the state's read lock only.
 	in, workerIDs, taskIDs := s.state.Snapshot()
+
 	var res RoundResult
 	if in.NumWorkers() > 0 && in.NumTasks() > 0 {
-		p, err := core.NewProblem(in, s.params)
+		// Phase 2: construct and solve lock-free on the snapshot, rebuilding
+		// into the previous round's arenas.  prev is owned by roundMu and
+		// nothing outside this method retains views into it (pairs below are
+		// copied out), so the reuse cannot be observed.
+		p, err := core.RebuildProblem(s.prev, in, s.params)
 		if err != nil {
 			return nil, err
 		}
+		s.prev = p
 		s.mu.Lock()
 		r := s.rng.Split()
 		s.mu.Unlock()
@@ -102,10 +141,10 @@ func (s *Service) CloseRound() (*RoundResult, error) {
 			return nil, err
 		}
 		res.Metrics = m
-		res.Pairs = make([]AssignmentPair, len(sel))
+		pairs := make([]AssignmentPair, len(sel))
 		for i, ei := range sel {
 			e := &p.Edges[ei]
-			res.Pairs[i] = AssignmentPair{
+			pairs[i] = AssignmentPair{
 				WorkerID: workerIDs[e.W],
 				TaskID:   taskIDs[e.T],
 				Quality:  e.Q,
@@ -113,6 +152,8 @@ func (s *Service) CloseRound() (*RoundResult, error) {
 				Mutual:   e.M,
 			}
 		}
+		// Phase 3: re-acquire the state and commit only what is still valid.
+		res.Pairs, res.StalePairs = s.state.filterLivePairs(pairs)
 	}
 	marker, err := s.Submit(NewRoundClosed(s.state.Rounds()))
 	if err != nil {

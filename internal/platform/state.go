@@ -229,6 +229,27 @@ func (s *State) Snapshot() (*market.Instance, []int, []int) {
 	return in, workerIDs, taskIDs
 }
 
+// filterLivePairs returns the subset of pairs whose worker is still live
+// and whose task is still open, plus the number dropped.  One read lock
+// covers the whole validation, so the commit decision is made against a
+// single consistent view of the state.  The input slice is filtered in
+// place (the caller owns it).
+func (s *State) filterLivePairs(pairs []AssignmentPair) ([]AssignmentPair, int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := pairs[:0]
+	for _, pr := range pairs {
+		if _, ok := s.workers[pr.WorkerID]; !ok {
+			continue
+		}
+		if _, ok := s.tasks[pr.TaskID]; !ok {
+			continue
+		}
+		out = append(out, pr)
+	}
+	return out, len(pairs) - len(out)
+}
+
 // Replay applies a sequence of recorded events to a fresh state.  Events
 // must be in log order; the first failure aborts with context.
 func Replay(numCategories int, events []Event) (*State, error) {

@@ -127,7 +127,20 @@ func (r *RNG) Bool(p float64) bool {
 
 // Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(nil, n)
+}
+
+// PermInto is Perm writing into buf when its capacity suffices, so repeated
+// draws of same-length permutations (the online solvers' arrival orders)
+// allocate nothing.  It draws exactly the same RNG stream as Perm, so a
+// caller switching between the two never perturbs downstream randomness.
+func (r *RNG) PermInto(buf []int, n int) []int {
+	var p []int
+	if cap(buf) >= n {
+		p = buf[:n]
+	} else {
+		p = make([]int, n)
+	}
 	for i := range p {
 		p[i] = i
 	}
