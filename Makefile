@@ -1,7 +1,7 @@
 # Pre-merge verification and perf tooling.  `make verify` is the documented
-# gate: the tier-1 build+test, go vet, and the race detector over the
-# concurrency-bearing packages (problem construction and the platform
-# server).
+# gate: the tier-1 build+test, go vet + gofmt, and the race detector over
+# the concurrency-bearing packages (problem construction, the flow kernels
+# and their workspace pool, and the platform server).
 GO ?= go
 
 .PHONY: verify build test vet race bench benchjson bench-diff
@@ -16,9 +16,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/platform/...
+	$(GO) test -race ./internal/core/... ./internal/platform/... ./internal/bipartite/...
 
 # Construction + greedy hot-path micro-benchmarks (allocation counts
 # included); compare against the committed BENCH_construction.json.
@@ -26,11 +28,13 @@ bench:
 	$(GO) test -bench 'NewProblem|Greedy|Feasible' -benchmem -run '^$$'
 
 # Regenerate the machine-readable benchmark-regression baselines:
-# construction/solver line-up, and the steady-state solve + platform round
-# suites (workspace and arena reuse).
+# construction/solver line-up, the steady-state solve + platform round
+# suites (workspace and arena reuse), and the exact matching engines
+# (cold serial reference vs workspace-reused flow kernels).
 benchjson:
 	$(GO) run ./cmd/mbabench -benchjson BENCH_construction.json -suites construction
 	$(GO) run ./cmd/mbabench -benchjson BENCH_solve.json -suites solve,round
+	$(GO) run ./cmd/mbabench -benchjson BENCH_matching.json -suites matching
 
 # Re-run the checked-in baselines' suites and fail on any entry that got
 # >25% slower (or meaningfully more allocation-hungry).  Run on an idle
@@ -38,3 +42,4 @@ benchjson:
 bench-diff:
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_construction.json
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_solve.json
+	$(GO) run ./cmd/mbabench -benchdiff BENCH_matching.json

@@ -14,6 +14,9 @@
 //	mbabench -benchjson BENCH_solve.json -suites solve,round
 //	                                  # steady-state solve + platform round
 //	                                  # suites (workspace + arena reuse)
+//	mbabench -benchjson BENCH_matching.json -suites matching
+//	                                  # exact flow path, cold (serial
+//	                                  # reference) vs workspace-reused
 //	mbabench -benchdiff BENCH_solve.json
 //	                                  # re-run a baseline's suites and fail
 //	                                  # on >25% ns/op (or alloc) regressions
@@ -50,7 +53,7 @@ func run() error {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		outdir     = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		benchjson  = flag.String("benchjson", "", "run the benchmark-regression harness and write its JSON report to this file")
-		suites     = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round)")
+		suites     = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round, matching)")
 		benchdiff  = flag.String("benchdiff", "", "re-run this baseline report's suites and fail on regressions beyond -benchtol")
 		benchtol   = flag.Float64("benchtol", experiments.DefaultBenchTolerance, "fractional slowdown tolerated by -benchdiff before failing")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")

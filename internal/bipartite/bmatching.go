@@ -15,6 +15,92 @@ type BMatching struct {
 	Weight  float64 // sum of chosen edge weights
 }
 
+// buildAssignmentNetwork materialises the b-matching flow reduction shared
+// by the weighted and cardinality solvers.  Vertex layout: 0 = source,
+// 1..nL = left, nL+1..nL+nR = right, last = sink — source < left block <
+// right block < sink, so vertex order is topological and MinCostFlowWS's
+// O(E) potential sweep applies.
+//
+// Arcs: source → left with capacity capL (skipped for zero-capacity or
+// isolated vertices), one unit arc per graph edge carrying the negated
+// scaled weight when weighted (skipped entirely when either endpoint has
+// zero capacity — a cap-0 arc can never carry flow and only bloats the
+// network; skipped entries get edgeArc[i] = -1), right → sink with capacity
+// capR.  The network is built into ws's retained arena when ws is non-nil,
+// freshly allocated otherwise.  It panics on capacity-length mismatch,
+// negative capacities, or (when weighted) negative weights.
+func buildAssignmentNetwork(ws *FlowWorkspace, g *Graph, capL, capR []int, weighted bool) (net *FlowNetwork, edgeArc []int32, s, t int) {
+	if len(capL) != g.NL() || len(capR) != g.NR() {
+		panic("bipartite: capacity slice length mismatch")
+	}
+	nL, nR := g.NL(), g.NR()
+	s = 0
+	t = nL + nR + 1
+	if ws != nil {
+		net = RebuildNetwork(&ws.net, nL+nR+2, g.NumEdges()+nL+nR)
+		ws.edgeArc = growI32(ws.edgeArc, g.NumEdges())
+		edgeArc = ws.edgeArc
+	} else {
+		net = NewFlowNetwork(nL+nR+2, g.NumEdges()+nL+nR)
+		edgeArc = make([]int32, g.NumEdges())
+	}
+
+	for l := 0; l < nL; l++ {
+		if capL[l] < 0 {
+			panic("bipartite: negative left capacity")
+		}
+		if capL[l] > 0 && g.DegreeL(l) > 0 {
+			net.AddEdge(s, 1+l, int64(capL[l]), 0)
+		}
+	}
+	for i, e := range g.Edges() {
+		if weighted && e.Weight < 0 {
+			panic("bipartite: MaxWeightBMatching requires non-negative weights")
+		}
+		if capL[e.L] == 0 || capR[e.R] == 0 {
+			edgeArc[i] = -1
+			continue
+		}
+		var c int64
+		if weighted {
+			c = -int64(math.Round(e.Weight * weightScale))
+		}
+		edgeArc[i] = int32(net.AddEdge(1+e.L, 1+nL+e.R, 1, c))
+	}
+	for r := 0; r < nR; r++ {
+		if capR[r] < 0 {
+			panic("bipartite: negative right capacity")
+		}
+		if capR[r] > 0 && g.DegreeR(r) > 0 {
+			net.AddEdge(1+nL+r, t, int64(capR[r]), 0)
+		}
+	}
+	return net, edgeArc, s, t
+}
+
+// collectMatching reads the chosen edges back out of the solved network:
+// one exactly-sized allocation for the caller-owned index slice.
+func collectMatching(g *Graph, net *FlowNetwork, edgeArc []int32) BMatching {
+	var m BMatching
+	chosen := 0
+	for i := range g.Edges() {
+		if edgeArc[i] >= 0 && net.Flow(int(edgeArc[i])) > 0 {
+			chosen++
+		}
+	}
+	if chosen == 0 {
+		return m
+	}
+	m.EdgeIdx = make([]int, 0, chosen)
+	for i := range g.Edges() {
+		if edgeArc[i] >= 0 && net.Flow(int(edgeArc[i])) > 0 {
+			m.EdgeIdx = append(m.EdgeIdx, i)
+			m.Weight += g.Edge(i).Weight
+		}
+	}
+	return m
+}
+
 // MaxWeightBMatching computes an exact maximum-weight b-matching of g:
 // a subset M of edges maximising Σweight such that every left vertex l is
 // covered at most capL[l] times and every right vertex r at most capR[r]
@@ -25,51 +111,22 @@ type BMatching struct {
 // source → worker arcs with capacity capL, per-edge unit arcs carrying the
 // negated scaled weight, task → sink arcs with capacity capR, then min-cost
 // flow with the stop-at-non-negative rule so only benefit-positive
-// augmenting paths are taken.
+// augmenting paths are taken.  Scratch and the network arena come from a
+// pooled FlowWorkspace; MaxWeightBMatchingWS pins one across solves.
 func MaxWeightBMatching(g *Graph, capL, capR []int) BMatching {
-	if len(capL) != g.NL() || len(capR) != g.NR() {
-		panic("bipartite: capacity slice length mismatch")
-	}
-	nL, nR := g.NL(), g.NR()
-	// Vertex layout: 0 = source, 1..nL = left, nL+1..nL+nR = right, last = sink.
-	s := 0
-	t := nL + nR + 1
-	net := NewFlowNetwork(nL+nR+2, g.NumEdges()+nL+nR)
+	return MaxWeightBMatchingWS(g, capL, capR, nil)
+}
 
-	for l := 0; l < nL; l++ {
-		if capL[l] < 0 {
-			panic("bipartite: negative left capacity")
-		}
-		if capL[l] > 0 && g.DegreeL(l) > 0 {
-			net.AddEdge(s, 1+l, int64(capL[l]), 0)
-		}
-	}
-	edgeArc := make([]int, g.NumEdges())
-	for i, e := range g.Edges() {
-		if e.Weight < 0 {
-			panic("bipartite: MaxWeightBMatching requires non-negative weights")
-		}
-		c := -int64(math.Round(e.Weight * weightScale))
-		edgeArc[i] = net.AddEdge(1+e.L, 1+nL+e.R, 1, c)
-	}
-	for r := 0; r < nR; r++ {
-		if capR[r] < 0 {
-			panic("bipartite: negative right capacity")
-		}
-		if capR[r] > 0 && g.DegreeR(r) > 0 {
-			net.AddEdge(1+nL+r, t, int64(capR[r]), 0)
-		}
-	}
-
-	net.MinCostFlow(s, t, int64(1)<<60, true)
-
-	var m BMatching
-	for i := range g.Edges() {
-		if net.Flow(edgeArc[i]) > 0 {
-			m.EdgeIdx = append(m.EdgeIdx, i)
-			m.Weight += g.Edge(i).Weight
-		}
-	}
+// MaxWeightBMatchingWS is MaxWeightBMatching solving inside ws: the flow
+// network is rebuilt in ws's retained arena and every kernel scratch array
+// is reused, so steady-state repeated solves allocate only the returned
+// matching.  A nil ws borrows one from the package pool.
+func MaxWeightBMatchingWS(g *Graph, capL, capR []int, ws *FlowWorkspace) BMatching {
+	ws, pooled := acquireFlowWorkspace(ws)
+	net, edgeArc, s, t := buildAssignmentNetwork(ws, g, capL, capR, true)
+	net.MinCostFlowWS(s, t, int64(1)<<60, true, ws)
+	m := collectMatching(g, net, edgeArc)
+	releaseFlowWorkspace(ws, pooled)
 	return m
 }
 
@@ -77,34 +134,16 @@ func MaxWeightBMatching(g *Graph, capL, capR []int) BMatching {
 // constraints, ignore weights) via Dinic max-flow.  Used for feasibility
 // analysis: how many assignment slots can be filled at all.
 func MaxCardinalityBMatching(g *Graph, capL, capR []int) BMatching {
-	if len(capL) != g.NL() || len(capR) != g.NR() {
-		panic("bipartite: capacity slice length mismatch")
-	}
-	nL, nR := g.NL(), g.NR()
-	s := 0
-	t := nL + nR + 1
-	net := NewFlowNetwork(nL+nR+2, g.NumEdges()+nL+nR)
-	for l := 0; l < nL; l++ {
-		if capL[l] > 0 && g.DegreeL(l) > 0 {
-			net.AddEdge(s, 1+l, int64(capL[l]), 0)
-		}
-	}
-	edgeArc := make([]int, g.NumEdges())
-	for i, e := range g.Edges() {
-		edgeArc[i] = net.AddEdge(1+e.L, 1+nL+e.R, 1, 0)
-	}
-	for r := 0; r < nR; r++ {
-		if capR[r] > 0 && g.DegreeR(r) > 0 {
-			net.AddEdge(1+nL+r, t, int64(capR[r]), 0)
-		}
-	}
-	net.MaxFlow(s, t)
-	var m BMatching
-	for i := range g.Edges() {
-		if net.Flow(edgeArc[i]) > 0 {
-			m.EdgeIdx = append(m.EdgeIdx, i)
-			m.Weight += g.Edge(i).Weight
-		}
-	}
+	return MaxCardinalityBMatchingWS(g, capL, capR, nil)
+}
+
+// MaxCardinalityBMatchingWS is MaxCardinalityBMatching solving inside ws;
+// a nil ws borrows one from the package pool.
+func MaxCardinalityBMatchingWS(g *Graph, capL, capR []int, ws *FlowWorkspace) BMatching {
+	ws, pooled := acquireFlowWorkspace(ws)
+	net, edgeArc, s, t := buildAssignmentNetwork(ws, g, capL, capR, false)
+	net.MaxFlowWS(s, t, ws)
+	m := collectMatching(g, net, edgeArc)
+	releaseFlowWorkspace(ws, pooled)
 	return m
 }

@@ -309,3 +309,50 @@ func TestMaxCardinalityBMatching(t *testing.T) {
 		t.Fatalf("cardinality = %d, want 3", len(m.EdgeIdx))
 	}
 }
+
+// TestBMatchingZeroCapacitySkipsArcs is the regression test for the flow
+// reduction's zero-capacity handling: edges whose worker or task has
+// capacity 0 must not emit unit arcs at all (they could never carry flow),
+// and the solve must still match the brute-force optimum of the remaining
+// market.
+func TestBMatchingZeroCapacitySkipsArcs(t *testing.T) {
+	g := NewGraph(3, 3)
+	g.AddEdge(0, 0, 0.9) // worker 0 has capacity 0: excluded however heavy
+	g.AddEdge(0, 1, 0.8)
+	g.AddEdge(1, 1, 0.7)
+	g.AddEdge(1, 2, 0.6) // task 2 has replication 0: excluded
+	g.AddEdge(2, 1, 0.5)
+	capL := []int{0, 1, 1}
+	capR := []int{1, 1, 0}
+
+	net, edgeArc, _, _ := buildAssignmentNetwork(nil, g, capL, capR, true)
+	for i, want := range []bool{true, true, false, true, false} {
+		if skipped := edgeArc[i] < 0; skipped != want {
+			t.Errorf("edge %d: skipped = %v, want %v", i, skipped, want)
+		}
+	}
+	// Arcs: 2 usable source arcs (workers 1, 2), 2 unit arcs, 2 sink arcs
+	// (tasks 0, 1) — 6 AddEdge calls → 12 paired arcs, and nothing for the
+	// zero-capacity endpoints.
+	if net.NumArcs() != 12 {
+		t.Errorf("network has %d arcs, want 12", net.NumArcs())
+	}
+
+	m := MaxWeightBMatching(g, capL, capR)
+	feasible(t, g, m, capL, capR)
+	if want := bruteMaxWeightBMatching(g, capL, capR); math.Abs(m.Weight-want) > 1e-9 {
+		t.Errorf("weight %v, want brute-force optimum %v", m.Weight, want)
+	}
+	// Best remaining: worker 1 takes task 1 (0.7); worker 2 blocked on task
+	// 1, task 0 unreachable — optimum 0.7 via edge 2.
+	if len(m.EdgeIdx) != 1 || m.EdgeIdx[0] != 2 {
+		t.Errorf("picked %v, want [2]", m.EdgeIdx)
+	}
+
+	// The cardinality solver shares the reduction and must skip too.
+	mc := MaxCardinalityBMatching(g, capL, capR)
+	feasible(t, g, mc, capL, capR)
+	if len(mc.EdgeIdx) != 1 {
+		t.Errorf("cardinality picked %v, want one edge", mc.EdgeIdx)
+	}
+}

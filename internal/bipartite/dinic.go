@@ -4,38 +4,79 @@ package bipartite
 // flow (Dinic) and, with costs, minimum-cost flow.  Edges are stored in the
 // standard paired-arc layout: edge i and its residual reverse edge i^1 are
 // adjacent, so residual updates are branch-free.
+//
+// Arcs are ingested in AddEdge order into a staging array (raw) and, once
+// arcs stop being added, laid out in CSR position order: a vertex's
+// out-arcs occupy the contiguous records es[adjOff[v]:adjOff[v+1]], sorted
+// by arc id, so the relaxation kernels stream memory sequentially instead
+// of chasing a linked list or an arc-id indirection.  pairPos maps a
+// position to its reverse arc's position, posOfArc an AddEdge-order arc id
+// to its position.  Reset rebuilds a same-shape network inside the
+// previous arenas.
 type FlowNetwork struct {
-	n     int
-	head  []int32 // head[v] = first arc index of v, -1 if none
-	next  []int32 // next[a] = next arc after a
-	to    []int32
-	cap   []int64
-	cost  []int64
-	flows int // number of AddEdge calls
+	n   int
+	raw []flowArc // staging, AddEdge (arc-id) order
+
+	es       []flowArc // live arcs in CSR position order
+	adjOff   []int32   // vertex v's arcs live at es[adjOff[v]:adjOff[v+1]]
+	pairPos  []int32   // position of the paired reverse arc, per position
+	posOfArc []int32   // arc id → position
+	dirty    bool
+	flows    int // number of AddEdge calls
+}
+
+// flowArc is one directed arc of the paired-arc layout.  Head, residual
+// capacity and cost live interleaved in a single record so the relaxation
+// loops touch one cache line per arc instead of three parallel arrays —
+// on large networks the Dijkstra sweep is memory-bound and the layout is
+// worth a sizeable constant factor.
+type flowArc struct {
+	to        int32
+	cap, cost int64
 }
 
 // NewFlowNetwork creates a network with n vertices and capacity hint for m
 // edges (each AddEdge consumes two arcs).
 func NewFlowNetwork(n, m int) *FlowNetwork {
+	f := &FlowNetwork{}
+	f.Reset(n, m)
+	return f
+}
+
+// Reset re-initialises f to an empty network with n vertices and a capacity
+// hint of m AddEdge calls, retaining every backing array that is already
+// large enough.  It panics on a negative vertex count.
+func (f *FlowNetwork) Reset(n, m int) {
 	if n < 0 {
 		panic("bipartite: negative vertex count")
 	}
-	f := &FlowNetwork{
-		n:    n,
-		head: make([]int32, n),
-		next: make([]int32, 0, 2*m),
-		to:   make([]int32, 0, 2*m),
-		cap:  make([]int64, 0, 2*m),
-		cost: make([]int64, 0, 2*m),
+	f.n = n
+	if cap(f.raw) < 2*m {
+		f.raw = make([]flowArc, 0, 2*m)
+	} else {
+		f.raw = f.raw[:0]
 	}
-	for i := range f.head {
-		f.head[i] = -1
+	f.posOfArc = f.posOfArc[:0] // discard any previous build's residual state
+	f.flows = 0
+	f.dirty = true
+}
+
+// RebuildNetwork re-arenas net for an n-vertex, m-edge instance: it resets a
+// non-nil network in place (reusing its allocations — the steady state of
+// repeated same-shape solves) and allocates a fresh one otherwise.
+func RebuildNetwork(net *FlowNetwork, n, m int) *FlowNetwork {
+	if net == nil {
+		return NewFlowNetwork(n, m)
 	}
-	return f
+	net.Reset(n, m)
+	return net
 }
 
 // N returns the number of vertices.
 func (f *FlowNetwork) N() int { return f.n }
+
+// NumArcs returns the number of arcs including residual reverses.
+func (f *FlowNetwork) NumArcs() int { return len(f.raw) }
 
 // AddEdge adds a directed edge u→v with the given capacity and cost and its
 // zero-capacity reverse arc.  It returns the arc index, from which the flow
@@ -48,47 +89,103 @@ func (f *FlowNetwork) AddEdge(u, v int, capacity, cost int64) int {
 	if capacity < 0 {
 		panic("bipartite: negative capacity")
 	}
-	a := int32(len(f.to))
-	f.to = append(f.to, int32(v), int32(u))
-	f.cap = append(f.cap, capacity, 0)
-	f.cost = append(f.cost, cost, -cost)
-	f.next = append(f.next, f.head[u], f.head[v])
-	f.head[u] = a
-	f.head[v] = a + 1
+	a := int32(len(f.raw))
+	f.raw = append(f.raw,
+		flowArc{to: int32(v), cap: capacity, cost: cost},
+		flowArc{to: int32(u), cap: 0, cost: -cost})
 	f.flows++
+	f.dirty = true
 	return int(a)
 }
 
-// Flow returns the flow currently pushed through arc a (the capacity of its
-// reverse arc).
-func (f *FlowNetwork) Flow(a int) int64 { return f.cap[a^1] }
+// ensureAdj (re)builds the position-ordered arc records in two counted
+// passes.  An arc's tail is the head of its paired reverse arc; arcs
+// appear in each vertex's block in ascending arc id, so iteration order is
+// deterministic and independent of how the layout is rebuilt.
+func (f *FlowNetwork) ensureAdj() {
+	if !f.dirty {
+		return
+	}
+	// A previous build's es records hold the live residual capacities;
+	// fold them back into staging order first so adding arcs after a solve
+	// does not discard flow state.
+	for a, p := range f.posOfArc {
+		f.raw[a].cap = f.es[p].cap
+	}
+	off := growI32(f.adjOff, f.n+1)
+	clear(off)
+	for a := range f.raw {
+		off[f.raw[a^1].to+1]++
+	}
+	for v := 0; v < f.n; v++ {
+		off[v+1] += off[v]
+	}
+	es := growArcs(f.es, len(f.raw))
+	posOfArc := growI32(f.posOfArc, len(f.raw))
+	for a := range f.raw {
+		u := f.raw[a^1].to
+		p := off[u]
+		es[p] = f.raw[a]
+		posOfArc[a] = p
+		off[u]++
+	}
+	for v := f.n; v > 0; v-- {
+		off[v] = off[v-1]
+	}
+	off[0] = 0
+	pairPos := growI32(f.pairPos, len(f.raw))
+	for a, p := range posOfArc {
+		pairPos[p] = posOfArc[a^1]
+	}
+	f.adjOff, f.es, f.posOfArc, f.pairPos = off, es, posOfArc, pairPos
+	f.dirty = false
+}
+
+// Flow returns the flow currently pushed through arc a (an AddEdge return
+// value) — the residual capacity of its reverse arc.
+func (f *FlowNetwork) Flow(a int) int64 {
+	f.ensureAdj()
+	return f.es[f.posOfArc[a^1]].cap
+}
 
 // MaxFlow computes the maximum s→t flow with Dinic's algorithm in
 // O(V²·E) general time, O(E·√V) on unit-capacity bipartite networks.
 // The residual capacities are left in place so callers can read per-arc
-// flows afterwards.
+// flows afterwards.  Scratch comes from a pooled FlowWorkspace; use
+// MaxFlowWS to pin one across calls.
 func (f *FlowNetwork) MaxFlow(s, t int) int64 {
+	ws, pooled := acquireFlowWorkspace(nil)
+	total := f.MaxFlowWS(s, t, ws)
+	releaseFlowWorkspace(ws, pooled)
+	return total
+}
+
+// MaxFlowWS is MaxFlow drawing its level/iterator/frontier scratch from ws.
+func (f *FlowNetwork) MaxFlowWS(s, t int, ws *FlowWorkspace) int64 {
 	if s == t {
 		panic("bipartite: MaxFlow with s == t")
 	}
+	f.ensureAdj()
 	const inf = int64(1) << 62
-	level := make([]int32, f.n)
-	iter := make([]int32, f.n)
-	queue := make([]int32, 0, f.n)
+	level := growI32(ws.level, f.n)
+	iter := growI32(ws.iter, f.n)
+	queue := growI32(ws.queue, f.n)
+	ws.level, ws.iter, ws.queue = level, iter, queue
 
+	es, pairPos := f.es, f.pairPos
 	bfs := func() bool {
 		for i := range level {
 			level[i] = -1
 		}
 		level[s] = 0
-		queue = queue[:0]
-		queue = append(queue, int32(s))
+		queue = queue[:1]
+		queue[0] = int32(s)
 		for qi := 0; qi < len(queue); qi++ {
 			v := queue[qi]
-			for a := f.head[v]; a != -1; a = f.next[a] {
-				if f.cap[a] > 0 && level[f.to[a]] == -1 {
-					level[f.to[a]] = level[v] + 1
-					queue = append(queue, f.to[a])
+			for a, end := f.adjOff[v], f.adjOff[v+1]; a < end; a++ {
+				if w := es[a].to; es[a].cap > 0 && level[w] == -1 {
+					level[w] = level[v] + 1
+					queue = append(queue, w)
 				}
 			}
 		}
@@ -100,14 +197,14 @@ func (f *FlowNetwork) MaxFlow(s, t int) int64 {
 		if v == int32(t) {
 			return up
 		}
-		for ; iter[v] != -1; iter[v] = f.next[iter[v]] {
+		for end := f.adjOff[v+1]; iter[v] < end; iter[v]++ {
 			a := iter[v]
-			w := f.to[a]
-			if f.cap[a] > 0 && level[w] == level[v]+1 {
-				d := dfs(w, min64(up, f.cap[a]))
+			w := es[a].to
+			if es[a].cap > 0 && level[w] == level[v]+1 {
+				d := dfs(w, min64(up, es[a].cap))
 				if d > 0 {
-					f.cap[a] -= d
-					f.cap[a^1] += d
+					es[a].cap -= d
+					es[pairPos[a]].cap += d
 					return d
 				}
 			}
@@ -117,7 +214,7 @@ func (f *FlowNetwork) MaxFlow(s, t int) int64 {
 
 	var total int64
 	for bfs() {
-		copy(iter, f.head)
+		copy(iter, f.adjOff[:f.n])
 		for {
 			d := dfs(int32(s), inf)
 			if d == 0 {

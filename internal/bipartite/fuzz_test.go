@@ -1,0 +1,68 @@
+package bipartite
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMaxWeightBMatching cross-checks the exact flow solver against the
+// subset-enumeration brute force on small random instances (≤ 8×8, random
+// capacities including zeros) decoded from the fuzz input.  The seed corpus
+// runs as part of tier-1 `go test` (including under -race); `go test
+// -fuzz=FuzzMaxWeightBMatching ./internal/bipartite` explores further.
+func FuzzMaxWeightBMatching(f *testing.F) {
+	f.Add([]byte{3, 3, 0xff, 1, 2, 1, 1, 1, 1})
+	f.Add([]byte{1, 1, 0x01, 0, 1})
+	f.Add([]byte{8, 8, 0xaa, 0x55, 3, 0, 1, 2, 3, 0, 1, 2, 2, 1, 0, 3, 2, 1, 0, 3})
+	f.Add([]byte{4, 2, 0x0f, 2, 2, 0, 1, 3, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		nL := int(next())%8 + 1
+		nR := int(next())%8 + 1
+		g := NewGraph(nL, nR)
+		// One bit per potential pair decides edge presence; weights are
+		// two-decimal so the scaled-integer solver and the float brute
+		// force agree exactly.  The brute force is 2^edges, so stop at 14.
+		var bits, have uint
+		for l := 0; l < nL && g.NumEdges() < 14; l++ {
+			for r := 0; r < nR && g.NumEdges() < 14; r++ {
+				if have == 0 {
+					bits, have = uint(next()), 8
+				}
+				present := bits&1 == 1
+				bits >>= 1
+				have--
+				if present {
+					w := float64((l*31+r*17)%100) / 100
+					g.AddEdge(l, r, w)
+				}
+			}
+		}
+		capL := make([]int, nL)
+		capR := make([]int, nR)
+		for i := range capL {
+			capL[i] = int(next()) % 4 // zeros included: the zero-capacity skip path
+		}
+		for i := range capR {
+			capR[i] = int(next()) % 4
+		}
+
+		m := MaxWeightBMatchingWS(g, capL, capR, nil)
+		feasible(t, g, m, capL, capR)
+		want := bruteMaxWeightBMatching(g, capL, capR)
+		if math.Abs(m.Weight-want) > 1e-6 {
+			t.Fatalf("flow %v vs brute %v (graph %d×%d, %d edges, capL %v capR %v)",
+				m.Weight, want, nL, nR, g.NumEdges(), capL, capR)
+		}
+		serial := MaxWeightBMatchingSerial(g, capL, capR)
+		matchingsEqual(t, "fuzz", m, serial)
+	})
+}

@@ -6,29 +6,51 @@ package bipartite
 //
 // The assignment layer uses it for feasibility probes ("can every task be
 // covered at all?") and the test suite uses it to cross-check the flow-based
-// solvers.
+// solvers.  Scratch comes from a pooled FlowWorkspace; HopcroftKarpWS pins
+// one across calls.
 func HopcroftKarp(g *Graph) (matchL []int, size int) {
-	const inf = int(^uint(0) >> 1)
+	ws, pooled := acquireFlowWorkspace(nil)
+	matchL, size = hopcroftKarp(g, ws)
+	releaseFlowWorkspace(ws, pooled)
+	return matchL, size
+}
+
+// HopcroftKarpWS is HopcroftKarp drawing its right-side match table, layer
+// distances and BFS frontier from ws; only the returned matchL allocates.
+func HopcroftKarpWS(g *Graph, ws *FlowWorkspace) (matchL []int, size int) {
+	return hopcroftKarp(g, ws)
+}
+
+// hopcroftKarp is the shared kernel.  The BFS reuses one frontier queue
+// across phases (the seed re-grew it per call), the layer and match tables
+// come from the workspace, and edges are read straight out of the graph's
+// CSR arena.  It traverses adjacency in exactly the seed's order, so the
+// matching is bit-identical to HopcroftKarpSerial.
+func hopcroftKarp(g *Graph, ws *FlowWorkspace) (matchL []int, size int) {
+	const inf = int32(^uint32(0) >> 1)
 	nL, nR := g.NL(), g.NR()
+	g.ensureAdj()
 	matchL = make([]int, nL)
-	matchR := make([]int, nR)
+	matchR := growI32(ws.matchR, nR)
+	dist := growI32(ws.level, nL)
+	queue := growI32(ws.queue, nL)
+	ws.matchR, ws.level, ws.queue = matchR, dist, queue
 	for i := range matchL {
 		matchL[i] = -1
 	}
 	for i := range matchR {
 		matchR[i] = -1
 	}
-	dist := make([]int, nL)
-	queue := make([]int, 0, nL)
 
 	// bfs builds the layered graph of alternating paths from free left
-	// vertices; it returns true if at least one augmenting path exists.
+	// vertices, reusing the workspace frontier; it returns true if at least
+	// one augmenting path exists.
 	bfs := func() bool {
 		queue = queue[:0]
 		for l := 0; l < nL; l++ {
 			if matchL[l] == -1 {
 				dist[l] = 0
-				queue = append(queue, l)
+				queue = append(queue, int32(l))
 			} else {
 				dist[l] = inf
 			}
@@ -36,8 +58,8 @@ func HopcroftKarp(g *Graph) (matchL []int, size int) {
 		found := false
 		for qi := 0; qi < len(queue); qi++ {
 			l := queue[qi]
-			for _, ei := range g.AdjL(l) {
-				r := g.Edge(int(ei)).R
+			for _, ei := range g.adjL[g.offL[l]:g.offL[l+1]] {
+				r := g.edges[ei].R
 				next := matchR[r]
 				if next == -1 {
 					found = true
@@ -51,14 +73,14 @@ func HopcroftKarp(g *Graph) (matchL []int, size int) {
 	}
 
 	// dfs searches for an augmenting path from l along the layered graph.
-	var dfs func(l int) bool
-	dfs = func(l int) bool {
-		for _, ei := range g.AdjL(l) {
-			r := g.Edge(int(ei)).R
+	var dfs func(l int32) bool
+	dfs = func(l int32) bool {
+		for _, ei := range g.adjL[g.offL[l]:g.offL[l+1]] {
+			r := g.edges[ei].R
 			next := matchR[r]
 			if next == -1 || (dist[next] == dist[l]+1 && dfs(next)) {
 				matchL[l] = r
-				matchR[r] = l
+				matchR[r] = int32(l)
 				return true
 			}
 		}
@@ -68,7 +90,7 @@ func HopcroftKarp(g *Graph) (matchL []int, size int) {
 
 	for bfs() {
 		for l := 0; l < nL; l++ {
-			if matchL[l] == -1 && dfs(l) {
+			if matchL[l] == -1 && dfs(int32(l)) {
 				size++
 			}
 		}

@@ -5,6 +5,27 @@ import (
 	"math"
 )
 
+var infFloat = math.Inf(1)
+
+// checkCostMatrix validates the n×m cost matrix shared by every Hungarian
+// variant: rectangular, n ≤ m.  It panics otherwise and returns (n, m).
+func checkCostMatrix(cost [][]float64) (n, m int) {
+	n = len(cost)
+	if n == 0 {
+		return 0, 0
+	}
+	m = len(cost[0])
+	for i, row := range cost {
+		if len(row) != m {
+			panic(fmt.Sprintf("bipartite: ragged cost matrix at row %d", i))
+		}
+	}
+	if n > m {
+		panic("bipartite: Hungarian requires rows <= columns")
+	}
+	return n, m
+}
+
 // Hungarian solves the classic assignment problem: given an n×m cost matrix
 // (n ≤ m), find a minimum-cost assignment of every row to a distinct column.
 // It returns rowMatch (rowMatch[i] = column assigned to row i) and the total
@@ -16,50 +37,84 @@ import (
 // and directly for one-worker-one-task markets where it is faster than the
 // general flow reduction.
 //
-// It panics if n > m or the matrix is ragged.
+// Scratch comes from a pooled FlowWorkspace; HungarianWS pins one across
+// calls.  It panics if n > m or the matrix is ragged.
 func Hungarian(cost [][]float64) (rowMatch []int, total float64) {
-	n := len(cost)
+	ws, pooled := acquireFlowWorkspace(nil)
+	rowMatch, total = hungarian(cost, ws, 1)
+	releaseFlowWorkspace(ws, pooled)
+	return rowMatch, total
+}
+
+// HungarianWS is Hungarian drawing its potentials, slack arrays and path
+// book-keeping from ws, so repeated solves allocate only the returned
+// rowMatch.
+func HungarianWS(cost [][]float64, ws *FlowWorkspace) (rowMatch []int, total float64) {
+	return hungarian(cost, ws, 1)
+}
+
+// HungarianMax solves the maximisation variant: it finds the assignment of
+// rows to distinct columns maximising total weight.  Weights are negated on
+// the fly inside the kernel — no negated copy of the matrix is built.
+func HungarianMax(weight [][]float64) (rowMatch []int, total float64) {
+	ws, pooled := acquireFlowWorkspace(nil)
+	rowMatch, total = hungarian(weight, ws, -1)
+	releaseFlowWorkspace(ws, pooled)
+	return rowMatch, total
+}
+
+// HungarianMaxWS is HungarianMax with a pinned workspace.
+func HungarianMaxWS(weight [][]float64, ws *FlowWorkspace) (rowMatch []int, total float64) {
+	return hungarian(weight, ws, -1)
+}
+
+// hungarian is the shared kernel: sign +1 minimises cost, sign -1 maximises
+// (entries are sign-multiplied on access).  The minv/used arrays — which
+// the seed allocated afresh for every row — live in the workspace and are
+// re-initialised per row, one allocation per call at most and none once the
+// workspace has warmed up.  The returned total is always in the caller's
+// original (un-negated) scale.
+func hungarian(cost [][]float64, ws *FlowWorkspace, sign float64) (rowMatch []int, total float64) {
+	n, m := checkCostMatrix(cost)
 	if n == 0 {
 		return nil, 0
-	}
-	m := len(cost[0])
-	for i, row := range cost {
-		if len(row) != m {
-			panic(fmt.Sprintf("bipartite: ragged cost matrix at row %d", i))
-		}
-	}
-	if n > m {
-		panic("bipartite: Hungarian requires rows <= columns")
 	}
 
 	// Potentials u (rows) and v (columns); p[j] = row matched to column j,
 	// all 1-indexed internally with 0 as a virtual root.
-	u := make([]float64, n+1)
-	v := make([]float64, m+1)
-	p := make([]int, m+1)
-	way := make([]int, m+1)
+	u := growF64(ws.hu, n+1)
+	v := growF64(ws.hv, m+1)
+	p := growI32(ws.hp, m+1)
+	way := growI32(ws.hway, m+1)
+	minv := growF64(ws.minv, m+1)
+	used := growBool(ws.hused, m+1)
+	ws.hu, ws.hv, ws.minv = u, v, minv
+	ws.hp, ws.hway, ws.hused = p, way, used
+	clear(u)
+	clear(v)
+	clear(p)
 
 	for i := 1; i <= n; i++ {
-		p[0] = i
+		p[0] = int32(i)
 		j0 := 0
-		minv := make([]float64, m+1)
-		used := make([]bool, m+1)
 		for j := range minv {
-			minv[j] = math.Inf(1)
+			minv[j] = infFloat
+			used[j] = false
 		}
 		for {
 			used[j0] = true
-			i0 := p[j0]
-			delta := math.Inf(1)
+			i0 := int(p[j0])
+			delta := infFloat
 			j1 := -1
+			row := cost[i0-1]
 			for j := 1; j <= m; j++ {
 				if used[j] {
 					continue
 				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				cur := sign*row[j-1] - u[i0] - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
-					way[j] = j0
+					way[j] = int32(j0)
 				}
 				if minv[j] < delta {
 					delta = minv[j]
@@ -81,7 +136,7 @@ func Hungarian(cost [][]float64) (rowMatch []int, total float64) {
 		}
 		// Unwind the augmenting path.
 		for j0 != 0 {
-			j1 := way[j0]
+			j1 := int(way[j0])
 			p[j0] = p[j1]
 			j0 = j1
 		}
@@ -97,23 +152,4 @@ func Hungarian(cost [][]float64) (rowMatch []int, total float64) {
 		total += cost[i][j]
 	}
 	return rowMatch, total
-}
-
-// HungarianMax solves the maximisation variant: it finds the assignment of
-// rows to distinct columns maximising total weight, by negating the matrix
-// and delegating to Hungarian.  Returns rowMatch and the maximised total.
-func HungarianMax(weight [][]float64) (rowMatch []int, total float64) {
-	n := len(weight)
-	if n == 0 {
-		return nil, 0
-	}
-	neg := make([][]float64, n)
-	for i, row := range weight {
-		neg[i] = make([]float64, len(row))
-		for j, w := range row {
-			neg[i][j] = -w
-		}
-	}
-	rowMatch, negTotal := Hungarian(neg)
-	return rowMatch, -negTotal
 }

@@ -2,6 +2,8 @@ package bipartite
 
 import "math"
 
+const infCost = int64(math.MaxInt64 / 4)
+
 // MCMFResult reports the outcome of a minimum-cost flow computation.
 type MCMFResult struct {
 	Flow int64 // total flow pushed
@@ -15,45 +17,73 @@ type MCMFResult struct {
 // that turns a min-cost-flow solver into a *maximum-weight* b-matching solver
 // when edge weights are encoded as negated costs.
 //
-// Costs may be negative on original arcs (they are, in the b-matching
-// reduction); the implementation runs one Bellman–Ford pass to initialise
-// Johnson potentials and then uses Dijkstra with reduced costs for every
-// subsequent augmentation, giving O(F·E·logV) after the O(V·E) start-up.
+// Scratch comes from a pooled FlowWorkspace; use MinCostFlowWS to pin one
+// across calls and amortise the arrays over many solves.
 func (f *FlowNetwork) MinCostFlow(s, t int, maxFlow int64, stopAtNonNegative bool) MCMFResult {
+	ws, pooled := acquireFlowWorkspace(nil)
+	res := f.MinCostFlowWS(s, t, maxFlow, stopAtNonNegative, ws)
+	releaseFlowWorkspace(ws, pooled)
+	return res
+}
+
+// MinCostFlowWS is MinCostFlow drawing every scratch array — potentials,
+// Dijkstra labels, the heap — from ws, so repeated solves through a pinned
+// workspace allocate nothing.
+//
+// Costs may be negative on original arcs (they are, in the b-matching
+// reduction).  Initial potentials come from an ordered relaxation sweep
+// (initPotentials) that costs O(E) on the s→L→R→t DAG the reduction
+// produces — Bellman–Ford is only needed once flow exists, and the first
+// potentials never see flow.  Every augmentation then runs Dijkstra with
+// reduced costs, stopping as soon as t is finalised; vertices the truncated
+// search did not finalise have their potentials advanced by dist(t), the
+// standard clamp that keeps every residual reduced cost non-negative.
+func (f *FlowNetwork) MinCostFlowWS(s, t int, maxFlow int64, stopAtNonNegative bool, ws *FlowWorkspace) MCMFResult {
 	if s == t {
 		panic("bipartite: MinCostFlow with s == t")
 	}
-	const inf = int64(math.MaxInt64 / 4)
+	f.ensureAdj()
 
-	pot := f.bellmanFord(s)
-	dist := make([]int64, f.n)
-	prevArc := make([]int32, f.n)
-	inHeap := make([]int32, f.n) // position in heap + 1; 0 = absent
+	pot := growI64(ws.pot, f.n)
+	f.initPotentials(s, pot)
+	dist := growI64(ws.dist, f.n)
+	prevArc := growI32(ws.prevArc, f.n)
+	inHeap := growI32(ws.heapPos, f.n) // position in heap + 1; 0 = absent
+	h := heap64{es: ws.heapEs[:0], pos: inHeap}
+	ws.pot, ws.dist, ws.prevArc = pot, dist, prevArc
+
+	// Hoisted locals: the relaxation loop is the hot path of the whole
+	// exact solver, and keeping the slice headers out of the FlowNetwork
+	// indirection lets the compiler keep them in registers.
+	es, adjOff, pairPos := f.es, f.adjOff, f.pairPos
 
 	var res MCMFResult
 	for res.Flow < maxFlow {
-		// Dijkstra over reduced costs.
+		// Dijkstra over reduced costs, truncated at t's finalisation.
 		for i := range dist {
-			dist[i] = inf
-			prevArc[i] = -1
+			dist[i] = infCost
 			inHeap[i] = 0
 		}
 		dist[s] = 0
-		h := heap64{pos: inHeap}
+		h.es = h.es[:0]
 		h.push(int32(s), 0)
 		for h.len() > 0 {
 			v, dv := h.pop()
 			if dv > dist[v] {
 				continue
 			}
-			for a := f.head[v]; a != -1; a = f.next[a] {
-				if f.cap[a] <= 0 {
+			if v == int32(t) {
+				break
+			}
+			base := dv + pot[v]
+			for a, end := adjOff[v], adjOff[v+1]; a < end; a++ {
+				e := &es[a]
+				if e.cap <= 0 {
 					continue
 				}
-				w := f.to[a]
+				w := e.to
 				// Reduced cost is non-negative once potentials are valid.
-				rc := f.cost[a] + pot[v] - pot[w]
-				nd := dist[v] + rc
+				nd := base + e.cost - pot[w]
 				if nd < dist[w] {
 					dist[w] = nd
 					prevArc[w] = a
@@ -61,135 +91,146 @@ func (f *FlowNetwork) MinCostFlow(s, t int, maxFlow int64, stopAtNonNegative boo
 				}
 			}
 		}
-		if dist[t] >= inf {
+		dt := dist[t]
+		if dt >= infCost {
 			break // t unreachable in the residual graph
 		}
-		realPathCost := dist[t] - pot[s] + pot[t]
+		realPathCost := dt - pot[s] + pot[t]
 		if stopAtNonNegative && realPathCost >= 0 {
 			break
 		}
-		// Update potentials for the next round.
+		// Update potentials for the next round; vertices beyond the
+		// truncation horizon advance by dt, preserving reduced-cost
+		// feasibility on every residual arc.
 		for v := 0; v < f.n; v++ {
-			if dist[v] < inf {
+			if dist[v] < dt {
 				pot[v] += dist[v]
+			} else {
+				pot[v] += dt
 			}
 		}
 		// Bottleneck along the path.
 		push := maxFlow - res.Flow
 		for v := int32(t); v != int32(s); {
 			a := prevArc[v]
-			if f.cap[a] < push {
-				push = f.cap[a]
+			if es[a].cap < push {
+				push = es[a].cap
 			}
-			v = f.to[a^1]
+			v = es[pairPos[a]].to
 		}
 		for v := int32(t); v != int32(s); {
 			a := prevArc[v]
-			f.cap[a] -= push
-			f.cap[a^1] += push
-			v = f.to[a^1]
+			es[a].cap -= push
+			es[pairPos[a]].cap += push
+			v = es[pairPos[a]].to
 		}
 		res.Flow += push
 		res.Cost += push * realPathCost
 	}
+	ws.heapEs = h.es[:0]
 	return res
 }
 
-// bellmanFord computes shortest-path potentials from s over arcs with
-// positive residual capacity, tolerating negative costs.  Vertices
-// unreachable from s keep a large-but-finite potential so later reduced
-// costs stay well-defined.
-func (f *FlowNetwork) bellmanFord(s int) []int64 {
-	const inf = int64(math.MaxInt64 / 4)
-	pot := make([]int64, f.n)
+// initPotentials fills pot with shortest-path distances from s over arcs
+// with positive residual capacity, tolerating negative costs.  It relaxes
+// every vertex's out-arcs in ascending vertex order and repeats until a
+// pass changes nothing.  The b-matching reduction lays its vertices out as
+// source < left block < right block < sink, so that order is topological
+// and the sweep converges in one relaxing pass plus one verification pass —
+// O(E) total, against Bellman–Ford's O(V·E).  On graphs where vertex order
+// is not topological the sweep degrades gracefully into ordered
+// Bellman–Ford and still terminates with exact distances.  Vertices
+// unreachable from s keep potential 0 (the value is irrelevant, it only
+// has to be finite).
+func (f *FlowNetwork) initPotentials(s int, pot []int64) {
 	for i := range pot {
-		pot[i] = inf
+		pot[i] = infCost
 	}
 	pot[s] = 0
-	// SPFA (queue-based Bellman-Ford) — fast on the layered DAG-like
-	// networks the b-matching reduction produces.
-	inQueue := make([]bool, f.n)
-	queue := make([]int32, 0, f.n)
-	queue = append(queue, int32(s))
-	inQueue[s] = true
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		inQueue[v] = false
-		for a := f.head[v]; a != -1; a = f.next[a] {
-			if f.cap[a] <= 0 {
+	es, adjOff := f.es, f.adjOff
+	for pass := 0; pass < f.n; pass++ {
+		changed := false
+		for v := int32(0); v < int32(f.n); v++ {
+			pv := pot[v]
+			if pv == infCost {
 				continue
 			}
-			w := f.to[a]
-			nd := pot[v] + f.cost[a]
-			if nd < pot[w] {
-				pot[w] = nd
-				if !inQueue[w] {
-					queue = append(queue, w)
-					inQueue[w] = true
+			for a, end := adjOff[v], adjOff[v+1]; a < end; a++ {
+				e := &es[a]
+				if e.cap <= 0 {
+					continue
+				}
+				if nd := pv + e.cost; nd < pot[e.to] {
+					pot[e.to] = nd
+					changed = true
 				}
 			}
 		}
-	}
-	for i := range pot {
-		if pot[i] == inf {
-			pot[i] = 0 // unreachable: potential value is irrelevant
+		if !changed {
+			break
 		}
 	}
-	return pot
+	for i := range pot {
+		if pot[i] == infCost {
+			pot[i] = 0
+		}
+	}
 }
 
 // heap64 is a small binary min-heap of (vertex, priority) used by Dijkstra.
-// pos tracks heap positions (+1) for decrease-key.
+// Entries are stored as fused (vertex, key) records so a sift touches one
+// cache line per level instead of two; pos tracks heap positions (+1) for
+// decrease-key.
 type heap64 struct {
-	vs  []int32
-	ds  []int64
+	es  []heapEnt
 	pos []int32
 }
 
-func (h *heap64) len() int { return len(h.vs) }
+type heapEnt struct {
+	v int32
+	d int64
+}
+
+func (h *heap64) len() int { return len(h.es) }
 
 func (h *heap64) push(v int32, d int64) {
 	if p := h.pos[v]; p != 0 {
 		// decrease-key
 		i := int(p - 1)
-		if d >= h.ds[i] {
+		if d >= h.es[i].d {
 			return
 		}
-		h.ds[i] = d
+		h.es[i].d = d
 		h.up(i)
 		return
 	}
-	h.vs = append(h.vs, v)
-	h.ds = append(h.ds, d)
-	h.pos[v] = int32(len(h.vs))
-	h.up(len(h.vs) - 1)
+	h.es = append(h.es, heapEnt{v, d})
+	h.pos[v] = int32(len(h.es))
+	h.up(len(h.es) - 1)
 }
 
 func (h *heap64) pop() (int32, int64) {
-	v, d := h.vs[0], h.ds[0]
-	last := len(h.vs) - 1
+	top := h.es[0]
+	last := len(h.es) - 1
 	h.swap(0, last)
-	h.pos[v] = 0
-	h.vs = h.vs[:last]
-	h.ds = h.ds[:last]
+	h.pos[top.v] = 0
+	h.es = h.es[:last]
 	if last > 0 {
 		h.down(0)
 	}
-	return v, d
+	return top.v, top.d
 }
 
 func (h *heap64) swap(i, j int) {
-	h.vs[i], h.vs[j] = h.vs[j], h.vs[i]
-	h.ds[i], h.ds[j] = h.ds[j], h.ds[i]
-	h.pos[h.vs[i]] = int32(i + 1)
-	h.pos[h.vs[j]] = int32(j + 1)
+	h.es[i], h.es[j] = h.es[j], h.es[i]
+	h.pos[h.es[i].v] = int32(i + 1)
+	h.pos[h.es[j].v] = int32(j + 1)
 }
 
 func (h *heap64) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.ds[p] <= h.ds[i] {
+		if h.es[p].d <= h.es[i].d {
 			break
 		}
 		h.swap(i, p)
@@ -198,14 +239,14 @@ func (h *heap64) up(i int) {
 }
 
 func (h *heap64) down(i int) {
-	n := len(h.vs)
+	n := len(h.es)
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && h.ds[l] < h.ds[small] {
+		if l < n && h.es[l].d < h.es[small].d {
 			small = l
 		}
-		if r < n && h.ds[r] < h.ds[small] {
+		if r < n && h.es[r].d < h.es[small].d {
 			small = r
 		}
 		if small == i {

@@ -18,6 +18,7 @@ func (f *FlowNetwork) MaxFlowPushRelabel(s, t int) int64 {
 	if s == t {
 		panic("bipartite: MaxFlowPushRelabel with s == t")
 	}
+	f.ensureAdj()
 	n := f.n
 	height := make([]int32, n)
 	excess := make([]int64, n)
@@ -33,10 +34,10 @@ func (f *FlowNetwork) MaxFlowPushRelabel(s, t int) int64 {
 		queue = append(queue, int32(t))
 		for qi := 0; qi < len(queue); qi++ {
 			v := queue[qi]
-			for a := f.head[v]; a != -1; a = f.next[a] {
+			for a, end := f.adjOff[v], f.adjOff[v+1]; a < end; a++ {
 				// Arc a^1 is w→v; it must have residual capacity.
-				w := f.to[a]
-				if f.cap[a^1] > 0 && height[w] == int32(2*n) && int(w) != s {
+				w := f.es[a].to
+				if f.es[f.pairPos[a]].cap > 0 && height[w] == int32(2*n) && int(w) != s {
 					height[w] = height[v] + 1
 					queue = append(queue, w)
 				}
@@ -61,14 +62,14 @@ func (f *FlowNetwork) MaxFlowPushRelabel(s, t int) int64 {
 			active = append(active, v)
 		}
 	}
-	for a := f.head[s]; a != -1; a = f.next[a] {
-		if f.cap[a] > 0 {
-			d := f.cap[a]
-			f.cap[a] -= d
-			f.cap[a^1] += d
-			excess[f.to[a]] += d
+	for a, end := f.adjOff[s], f.adjOff[s+1]; a < end; a++ {
+		if f.es[a].cap > 0 {
+			d := f.es[a].cap
+			f.es[a].cap -= d
+			f.es[f.pairPos[a]].cap += d
+			excess[f.es[a].to] += d
 			excess[s] -= d
-			enqueue(f.to[a])
+			enqueue(f.es[a].to)
 		}
 	}
 
@@ -81,12 +82,15 @@ func (f *FlowNetwork) MaxFlowPushRelabel(s, t int) int64 {
 		// Discharge v.
 		for excess[v] > 0 {
 			pushed := false
-			for a := f.head[v]; a != -1 && excess[v] > 0; a = f.next[a] {
-				w := f.to[a]
-				if f.cap[a] > 0 && height[v] == height[w]+1 {
-					d := min64(excess[v], f.cap[a])
-					f.cap[a] -= d
-					f.cap[a^1] += d
+			for a, end := f.adjOff[v], f.adjOff[v+1]; a < end; a++ {
+				if excess[v] <= 0 {
+					break
+				}
+				w := f.es[a].to
+				if f.es[a].cap > 0 && height[v] == height[w]+1 {
+					d := min64(excess[v], f.es[a].cap)
+					f.es[a].cap -= d
+					f.es[f.pairPos[a]].cap += d
 					excess[v] -= d
 					excess[w] += d
 					enqueue(w)
@@ -101,9 +105,9 @@ func (f *FlowNetwork) MaxFlowPushRelabel(s, t int) int64 {
 				// Relabel with gap heuristic.
 				old := height[v]
 				minH := int32(2 * n)
-				for a := f.head[v]; a != -1; a = f.next[a] {
-					if f.cap[a] > 0 && height[f.to[a]] < minH {
-						minH = height[f.to[a]]
+				for a, end := f.adjOff[v], f.adjOff[v+1]; a < end; a++ {
+					if f.es[a].cap > 0 && height[f.es[a].to] < minH {
+						minH = height[f.es[a].to]
 					}
 				}
 				if minH >= int32(2*n) {

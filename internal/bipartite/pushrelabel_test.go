@@ -100,14 +100,10 @@ func TestPushRelabelPerArcFlowsConsistent(t *testing.T) {
 	// Net outflow of source must equal total, and conservation must hold
 	// elsewhere.  Reconstruct per-arc flows from residuals.
 	net := make([]int64, n)
-	for v := 0; v < n; v++ {
-		for a := f.head[v]; a != -1; a = f.next[a] {
-			if a%2 == 0 { // original arc
-				flow := f.cap[a^1]
-				net[v] -= flow
-				net[f.to[a]] += flow
-			}
-		}
+	for a := 0; a < f.NumArcs(); a += 2 { // even arc ids are original arcs
+		flow := f.Flow(a)
+		net[f.raw[a^1].to] -= flow
+		net[f.raw[a].to] += flow
 	}
 	if net[0] != -total || net[n-1] != total {
 		t.Fatalf("source/sink imbalance: %d, %d, total %d", net[0], net[n-1], total)

@@ -1,0 +1,112 @@
+package bipartite
+
+import "sync"
+
+// FlowWorkspace is the reusable scratch memory behind the matching kernels,
+// mirroring core.Workspace: Dijkstra's dist/prevArc/heap arrays, the
+// potential vector, Dinic's level/iter tables, Hopcroft–Karp's layer and
+// frontier queues, the Hungarian potentials, and — most importantly — a
+// retained FlowNetwork arena so repeated b-matching solves rebuild the flow
+// reduction inside the previous solve's allocations.
+//
+// Two ways to use it:
+//
+//   - implicit: call the plain kernel entry points (MaxWeightBMatching,
+//     MinCostFlow, …) and each call borrows a workspace from a package-wide
+//     sync.Pool for its duration — concurrent solves each get their own;
+//   - explicit: allocate one with NewFlowWorkspace and pass it to the WS
+//     variants (MaxWeightBMatchingWS, …) to pin it across calls, which is
+//     what core.Exact does when its own Workspace is pinned round over
+//     round.
+//
+// A FlowWorkspace is not safe for concurrent use; the pool hands each
+// borrower a private one.  All buffers are sized lazily and retained at
+// high-water mark.
+type FlowWorkspace struct {
+	// Min-cost-flow scratch (MinCostFlowWS).
+	dist    []int64
+	prevArc []int32
+	pot     []int64
+	heapEs  []heapEnt
+	heapPos []int32
+
+	// Max-flow scratch (MaxFlowWS) and Hopcroft–Karp layers/frontier.
+	level []int32
+	iter  []int32
+	queue []int32
+
+	// Hopcroft–Karp right-side matches.
+	matchR []int32
+
+	// Hungarian scratch: potentials, column matches, augmenting-path
+	// book-keeping and the per-call (not per-row) minv/used arrays.
+	hu, hv, minv []float64
+	hp, hway     []int32
+	hused        []bool
+
+	// Retained network arena for the b-matching reduction, rebuilt in
+	// place by RebuildNetwork on every solve.
+	net     FlowNetwork
+	edgeArc []int32
+}
+
+// NewFlowWorkspace returns an empty workspace; buffers grow on first use.
+func NewFlowWorkspace() *FlowWorkspace { return &FlowWorkspace{} }
+
+var flowWorkspacePool = sync.Pool{New: func() any { return &FlowWorkspace{} }}
+
+// acquireFlowWorkspace hands the caller a private workspace: the pinned one
+// when non-nil (pooled false), a pooled one otherwise.
+func acquireFlowWorkspace(pinned *FlowWorkspace) (ws *FlowWorkspace, pooled bool) {
+	if pinned != nil {
+		return pinned, false
+	}
+	return flowWorkspacePool.Get().(*FlowWorkspace), true
+}
+
+// releaseFlowWorkspace returns a pooled workspace; a pinned one stays with
+// its owner.
+func releaseFlowWorkspace(ws *FlowWorkspace, pooled bool) {
+	if pooled {
+		flowWorkspacePool.Put(ws)
+	}
+}
+
+// The grow helpers return a length-n slice backed by buf when it is large
+// enough, a fresh allocation otherwise.  Contents are unspecified; callers
+// that need zeroed or sentinel-filled memory initialise explicitly.
+
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n)
+}
+
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int64, n)
+}
+
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]bool, n)
+}
+
+func growArcs(buf []flowArc, n int) []flowArc {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]flowArc, n)
+}

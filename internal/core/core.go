@@ -369,9 +369,28 @@ func (p *Problem) CapacityT() []int {
 
 // GraphFor builds the weighted bipartite graph of the problem under kind
 // (left = workers, right = tasks), preserving edge indices, for use with the
-// exact flow solver.
+// exact flow solver.  Each call allocates a fresh graph; the exact solver's
+// hot path goes through graphForInto, which rebuilds the workspace's
+// retained graph arena instead.
 func (p *Problem) GraphFor(kind WeightKind) *bipartite.Graph {
-	g := bipartite.NewGraph(p.In.NumWorkers(), p.In.NumTasks())
+	return p.fillGraph(bipartite.NewGraph(p.In.NumWorkers(), p.In.NumTasks()), kind)
+}
+
+// graphForInto is GraphFor rebuilding into ws's retained graph: after the
+// first solve through a pinned (or pooled) workspace, laying out the flow
+// reduction's input allocates nothing.
+func (p *Problem) graphForInto(kind WeightKind, ws *Workspace) *bipartite.Graph {
+	if ws.flowG == nil {
+		ws.flowG = bipartite.NewGraph(p.In.NumWorkers(), p.In.NumTasks())
+	} else {
+		ws.flowG.Reset(p.In.NumWorkers(), p.In.NumTasks())
+	}
+	return p.fillGraph(ws.flowG, kind)
+}
+
+// fillGraph appends every eligible edge to g under kind, preserving edge
+// indices.
+func (p *Problem) fillGraph(g *bipartite.Graph, kind WeightKind) *bipartite.Graph {
 	for i := range p.Edges {
 		e := &p.Edges[i]
 		g.AddEdge(e.W, e.T, e.Weight(kind))

@@ -10,10 +10,19 @@ import (
 // see internal/bipartite).  It is polynomial but super-linear in practice —
 // the runtime experiment (R-Fig9) quantifies exactly where it stops being
 // usable and Greedy takes over.
+//
+// Every solve rebuilds the flow reduction inside a Workspace's retained
+// arenas (the bipartite graph, the flow network, and the matching engine's
+// scratch — see bipartite.FlowWorkspace), so repeated exact solves allocate
+// only the returned selection.  Leave WS nil to draw workspaces from the
+// package pool (which the platform's round loop benefits from
+// automatically), or pin one for single-threaded round-over-round reuse.
 type Exact struct {
 	// Kind selects the optimised value; MutualWeight is the paper's
 	// algorithm, QualityWeight the strongest classical baseline.
 	Kind WeightKind
+	// WS optionally pins a reusable workspace across calls.
+	WS *Workspace
 }
 
 // Name implements Solver.
@@ -26,7 +35,30 @@ func (s Exact) Name() string {
 
 // Solve implements Solver.  The RNG is unused: the optimum is deterministic.
 func (s Exact) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
+	ws, pooled := acquireWorkspace(s.WS)
+	g := p.graphForInto(s.Kind, ws)
+	if ws.flowWS == nil {
+		ws.flowWS = bipartite.NewFlowWorkspace()
+	}
+	m := bipartite.MaxWeightBMatchingWS(g, p.capacityWInto(ws), p.capacityTInto(ws), ws.flowWS)
+	releaseWorkspace(ws, pooled)
+	return m.EdgeIdx, nil
+}
+
+// ExactSerial is the retained cold-path reference for Exact: a fresh graph
+// and flow network per solve, Bellman–Ford potentials, per-call scratch.
+// The parity tests pin Exact against it bit for bit, and the `matching`
+// benchmark suite measures the workspace path's speedup over it.
+type ExactSerial struct {
+	Kind WeightKind
+}
+
+// Name implements Solver.
+func (s ExactSerial) Name() string { return "exact-serial" }
+
+// Solve implements Solver.
+func (s ExactSerial) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 	g := p.GraphFor(s.Kind)
-	m := bipartite.MaxWeightBMatching(g, p.CapacityW(), p.CapacityT())
+	m := bipartite.MaxWeightBMatchingSerial(g, p.CapacityW(), p.CapacityT())
 	return m.EdgeIdx, nil
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+// TestExactBitIdenticalToSerial pins the workspace-reusing exact solver
+// against the retained ExactSerial cold path across 20 seeds × all three
+// trace generators, solving through one pinned workspace so arena reuse
+// between differently-shaped markets is part of what is tested.
+func TestExactBitIdenticalToSerial(t *testing.T) {
+	ws := NewWorkspace()
+	fast := Exact{Kind: MutualWeight, WS: ws}
+	ref := ExactSerial{Kind: MutualWeight}
+	gens := []func(seed uint64) market.Config{
+		func(seed uint64) market.Config { return market.UniformConfig(14+int(seed%5), 10+int(seed%7)) },
+		func(seed uint64) market.Config { return market.ZipfConfig(12, 16, 1.1) },
+		func(seed uint64) market.Config { return market.FreelanceTraceConfig(16, 12) },
+	}
+	for gi, gen := range gens {
+		for seed := uint64(0); seed < 20; seed++ {
+			in := market.MustGenerate(gen(seed), seed*13+1)
+			p := MustNewProblem(in, benefit.DefaultParams())
+			want, err := ref.Solve(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast.Solve(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("generator %d seed %d: exact %v vs serial %v", gi, seed, got, want)
+			}
+			if err := p.Feasible(got); err != nil {
+				t.Fatalf("generator %d seed %d: infeasible exact result: %v", gi, seed, err)
+			}
+		}
+	}
+}
+
+// TestExactQualityKindMatchesSerial covers the non-default weight kind
+// through the same pinned-workspace path.
+func TestExactQualityKindMatchesSerial(t *testing.T) {
+	ws := NewWorkspace()
+	in := market.MustGenerate(market.MicrotaskTraceConfig(15, 20), 3)
+	p := MustNewProblem(in, benefit.DefaultParams())
+	got, err := Exact{Kind: QualityWeight, WS: ws}.Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExactSerial{Kind: QualityWeight}.Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("quality kind: exact %v vs serial %v", got, want)
+	}
+}
+
+// TestExactWorkspaceAllocs enforces the steady-state allocation budget of
+// the exact path: with a warmed pinned workspace, a solve allocates only
+// the returned selection — single digits, not a per-augmentation storm.
+func TestExactWorkspaceAllocs(t *testing.T) {
+	in := market.MustGenerate(market.FreelanceTraceConfig(60, 45), 7)
+	p := MustNewProblem(in, benefit.DefaultParams())
+	s := Exact{Kind: MutualWeight, WS: NewWorkspace()}
+	if _, err := s.Solve(p, nil); err != nil { // warm the arenas
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Solve(p, stats.NewRNG(0)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("steady-state exact solve allocates %.0f/op, want <= 4", allocs)
+	}
+}

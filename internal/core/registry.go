@@ -10,6 +10,7 @@ import (
 // algorithms through this table, so names stay consistent everywhere.
 var solverFactories = map[string]func() Solver{
 	"exact":               func() Solver { return Exact{Kind: MutualWeight} },
+	"exact-serial":        func() Solver { return ExactSerial{Kind: MutualWeight} },
 	"greedy":              func() Solver { return Greedy{Kind: MutualWeight} },
 	"local-search":        func() Solver { return LocalSearch{Kind: MutualWeight} },
 	"local-search-serial": func() Solver { return LocalSearchSerial{Kind: MutualWeight} },

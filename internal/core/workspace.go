@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/bipartite"
+)
 
 // Workspace is the reusable scratch memory behind the solvers' hot paths:
 // capacity and chosen-flag arrays, edge-order and weight buffers, the local
@@ -42,6 +46,12 @@ type Workspace struct {
 	sorter32   edgeOrder[int32]
 	sorterInt  edgeOrder[int]
 	moveSorter lsMoveSorter
+
+	// Exact-path state: the retained bipartite graph the flow reduction is
+	// rebuilt into, and the matching engine's own scratch arena (network,
+	// potentials, Dijkstra labels, heap) — see bipartite.FlowWorkspace.
+	flowG  *bipartite.Graph
+	flowWS *bipartite.FlowWorkspace
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.

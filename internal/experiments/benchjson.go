@@ -12,6 +12,11 @@ package experiments
 //     The O(E)-per-pass local search is cheap enough to run at every scale.
 //   - "round": an end-to-end platform round — snapshot, rebuild, solve,
 //     validate-and-commit — over a live Service with no journal attached.
+//   - "matching": the exact flow path in isolation, cold (ExactSerial —
+//     fresh graph, network and scratch every solve) vs. workspace-reused
+//     (Exact with a pinned warmed Workspace) at three scales of its own:
+//     the exact solver is super-linear, so the suite stops where it stays
+//     tractable.  Checked in as BENCH_matching.json.
 //
 // "solve" and "round" are checked in together as BENCH_solve.json.  Future
 // PRs compare a fresh run against the checked-in baselines (`mbabench
@@ -42,7 +47,7 @@ const BenchSchema = "mba-bench/v2"
 const benchExactEdgeBudget = 60000
 
 // BenchSuites lists the suites RunBenchJSON knows, in canonical order.
-func BenchSuites() []string { return []string{"construction", "solve", "round"} }
+func BenchSuites() []string { return []string{"construction", "solve", "round", "matching"} }
 
 // BenchScale is one market size of the regression harness.
 type BenchScale struct {
@@ -140,6 +145,8 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 			err = runSolveSuite(log, cfg, scales, rep)
 		case "round":
 			err = runRoundSuite(log, cfg, scales, rep)
+		case "matching":
+			err = runMatchingSuite(log, cfg, rep)
 		default:
 			err = fmt.Errorf("experiments: unknown bench suite %q (have %v)", suite, BenchSuites())
 		}
@@ -300,6 +307,69 @@ func runSolveSuite(log io.Writer, cfg BenchConfig, scales []BenchScale, rep *Ben
 				}
 			}))
 		}
+	}
+	return nil
+}
+
+// MatchingBenchScales returns the three freelance-trace scales of the
+// "matching" suite.  They are smaller than DefaultBenchScales because the
+// suite runs the exact min-cost-flow solver twice per scale and that path
+// is super-linear in the edge count.
+func MatchingBenchScales() []BenchScale {
+	return []BenchScale{
+		{Name: "xs", Workers: 100, Tasks: 75},
+		{Name: "sm", Workers: 200, Tasks: 150},
+		{Name: "md", Workers: 400, Tasks: 300},
+	}
+}
+
+// runMatchingSuite times the exact b-matching path cold vs. workspace-
+// reused.  "exact-serial" is the retained reference — fresh graph, flow
+// network and per-call scratch, SPFA potentials — while "exact" solves
+// through one pinned warmed Workspace so arena reuse and the O(E)
+// topological potential start-up are what gets measured.  Both produce
+// bit-identical matchings (pinned by the parity tests), so the entries
+// differ only in engine cost.
+func runMatchingSuite(log io.Writer, cfg BenchConfig, rep *BenchReport) error {
+	scales := cfg.Scales
+	if len(scales) == 0 {
+		scales = MatchingBenchScales()
+	}
+	for _, sc := range scales {
+		in, err := benchInstance(sc, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		p, err := core.NewProblem(in, benefit.DefaultParams())
+		if err != nil {
+			return err
+		}
+		add := benchAdder(log, rep, "matching", sc, len(p.Edges))
+
+		cold := core.ExactSerial{Kind: core.MutualWeight}
+		add(cold.Name(), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cold.Solve(p, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+		warm := core.Exact{Kind: core.MutualWeight, WS: core.NewWorkspace()}
+		// Warm the pinned workspace so the entry reports steady-state
+		// reuse, not the first-call arena growth.
+		if _, err := warm.Solve(p, nil); err != nil {
+			return err
+		}
+		add(warm.Name(), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := warm.Solve(p, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
 	}
 	return nil
 }

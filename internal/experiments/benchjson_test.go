@@ -91,6 +91,33 @@ func TestRunBenchJSONSolveAndRoundSuites(t *testing.T) {
 	}
 }
 
+// TestRunBenchJSONMatchingSuite runs the exact-path suite at a toy scale
+// and checks both engines land: the cold serial reference first, then the
+// workspace-reused solver.
+func TestRunBenchJSONMatchingSuite(t *testing.T) {
+	rep, err := RunBenchJSON(io.Discard, BenchConfig{
+		Seed:   1,
+		Scales: []BenchScale{{Name: "tiny", Workers: 24, Tasks: 18}},
+		Suites: []string{"matching"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"exact-serial", "exact"}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("%d results, want %d: %+v", len(rep.Results), len(want), rep.Results)
+	}
+	for i, name := range want {
+		r := rep.Results[i]
+		if r.Suite != "matching" || r.Name != name {
+			t.Fatalf("result %d is %s/%s, want matching/%s", i, r.Suite, r.Name, name)
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.Edges <= 0 {
+			t.Fatalf("%s not measured: %+v", name, r)
+		}
+	}
+}
+
 // TestRunBenchJSONUnknownSuite checks suite-name typos fail loudly instead
 // of silently benchmarking nothing.
 func TestRunBenchJSONUnknownSuite(t *testing.T) {
