@@ -4,7 +4,7 @@
 # and their workspace pool, and the platform server).
 GO ?= go
 
-.PHONY: verify build test vet race bench benchjson bench-diff
+.PHONY: verify build test vet race chaos bench benchjson bench-diff
 
 verify: build test vet race
 
@@ -21,6 +21,13 @@ vet:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/platform/... ./internal/bipartite/...
+
+# Fault-injection suite: ≥120 serving rounds under injected journal
+# faults, solver panics and concurrent churn, then recovery verification.
+# Deterministic under CHAOS_SEED (default 1); export a different value to
+# rotate the fault pattern.
+chaos:
+	CHAOS_SEED=$${CHAOS_SEED:-1} $(GO) test -race -count=1 -v -run 'Chaos' ./internal/platform/...
 
 # Construction + greedy hot-path micro-benchmarks (allocation counts
 # included); compare against the committed BENCH_construction.json.

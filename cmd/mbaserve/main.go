@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,19 +35,63 @@ import (
 	"repro/internal/platform"
 )
 
+// buildSolver resolves the serving solver from the CLI's robustness
+// flags.  -fallback-chain wraps named solvers into a core.Degrader; a
+// -round-deadline alone implies the chain "<solver>,greedy" so "bound the
+// solve" never silently means "maybe serve nothing".
+func buildSolver(name, chain string, deadline time.Duration) (core.Solver, error) {
+	if chain == "" && deadline > 0 {
+		if name == "greedy" {
+			chain = name
+		} else {
+			chain = name + ",greedy"
+		}
+	}
+	if chain == "" {
+		return core.ByName(name)
+	}
+	var stages []core.Solver
+	for _, stage := range strings.Split(chain, ",") {
+		s, err := core.ByName(strings.TrimSpace(stage))
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, s)
+	}
+	return core.NewDegrader(deadline, stages...), nil
+}
+
+// parseFsync maps the -fsync flag to a journal policy.
+func parseFsync(v string) (platform.FsyncPolicy, error) {
+	switch v {
+	case "never":
+		return platform.FsyncNever, nil
+	case "always":
+		return platform.FsyncAlways, nil
+	}
+	return 0, fmt.Errorf("bad -fsync %q (want never|always)", v)
+}
+
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		categories   = flag.Int("categories", 30, "category universe size")
-		solverName   = flag.String("solver", "greedy", "assignment algorithm per round")
-		lambda       = flag.Float64("lambda", 0.5, "requester-side weight in [0,1]")
-		journal      = flag.String("journal", "", "append-only event log path (replayed on start; empty disables)")
-		seed         = flag.Uint64("seed", 42, "seed for randomised solvers")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain limit for in-flight requests")
+		addr          = flag.String("addr", ":8080", "listen address")
+		categories    = flag.Int("categories", 30, "category universe size")
+		solverName    = flag.String("solver", "greedy", "assignment algorithm per round")
+		lambda        = flag.Float64("lambda", 0.5, "requester-side weight in [0,1]")
+		journal       = flag.String("journal", "", "append-only event log path (replayed on start; empty disables)")
+		seed          = flag.Uint64("seed", 42, "seed for randomised solvers")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain limit for in-flight requests")
+		roundDeadline = flag.Duration("round-deadline", 0, "per-round solve budget; past it the round degrades down the fallback chain (0 disables)")
+		fallbackChain = flag.String("fallback-chain", "", "comma-separated degradation chain, best first (e.g. exact,local-search,greedy); empty with -round-deadline implies '<solver>,greedy'")
+		fsyncMode     = flag.String("fsync", "never", "journal durability: never (OS page cache) or always (fsync per event)")
 	)
 	flag.Parse()
 
-	solver, err := core.ByName(*solverName)
+	solver, err := buildSolver(*solverName, *fallbackChain, *roundDeadline)
+	if err != nil {
+		log.Fatalf("mbaserve: %v", err)
+	}
+	fsync, err := parseFsync(*fsyncMode)
 	if err != nil {
 		log.Fatalf("mbaserve: %v", err)
 	}
@@ -77,7 +122,13 @@ func main() {
 			log.Fatalf("mbaserve: opening journal for append: %v", err)
 		}
 		jfile = f
-		jlog = platform.NewLog(f)
+		// Bounded retry absorbs transient write blips (a failed event is
+		// rolled back, not half-remembered); fsync policy per the flag.
+		jlog = platform.NewLogWithOptions(f, platform.LogOptions{
+			Fsync:        fsync,
+			MaxRetries:   3,
+			RetryBackoff: 2 * time.Millisecond,
+		})
 	}
 	if state == nil {
 		if state, err = platform.NewState(*categories); err != nil {
@@ -96,7 +147,7 @@ func main() {
 	// journal so the last accepted mutation is durable before exit.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           platform.NewServer(svc),
+		Handler:           platform.NewServerWithOptions(svc, platform.NewServerOptions()),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,

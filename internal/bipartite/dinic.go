@@ -214,6 +214,11 @@ func (f *FlowNetwork) MaxFlowWS(s, t int, ws *FlowWorkspace) int64 {
 
 	var total int64
 	for bfs() {
+		// Cooperative cancellation, one poll per level-graph phase —
+		// mirrors the augmentation-loop check in MinCostFlowWS.
+		if ws.Stop != nil && ws.Stop() {
+			break
+		}
 		copy(iter, f.adjOff[:f.n])
 		for {
 			d := dfs(int32(s), inf)

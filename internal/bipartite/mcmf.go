@@ -59,6 +59,12 @@ func (f *FlowNetwork) MinCostFlowWS(s, t int, maxFlow int64, stopAtNonNegative b
 
 	var res MCMFResult
 	for res.Flow < maxFlow {
+		// Cooperative cancellation: one poll per augmentation keeps the
+		// check off the relaxation hot path while bounding the latency of
+		// a deadline fire to a single Dijkstra round.
+		if ws.Stop != nil && ws.Stop() {
+			break
+		}
 		// Dijkstra over reduced costs, truncated at t's finalisation.
 		for i := range dist {
 			dist[i] = infCost

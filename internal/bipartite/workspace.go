@@ -23,6 +23,15 @@ import "sync"
 // borrower a private one.  All buffers are sized lazily and retained at
 // high-water mark.
 type FlowWorkspace struct {
+	// Stop, when non-nil, is polled once per augmentation (MinCostFlowWS)
+	// or per phase (MaxFlowWS) and makes the kernel return early with
+	// whatever partial flow it has pushed so far.  It is the cooperative
+	// cancellation hook core.Exact uses to honour context deadlines: the
+	// caller that set it must treat the result as invalid once Stop has
+	// reported true.  Left nil (the default) the kernels are bit-identical
+	// to their uncancellable behaviour.
+	Stop func() bool
+
 	// Min-cost-flow scratch (MinCostFlowWS).
 	dist    []int64
 	prevArc []int32
@@ -65,9 +74,11 @@ func acquireFlowWorkspace(pinned *FlowWorkspace) (ws *FlowWorkspace, pooled bool
 }
 
 // releaseFlowWorkspace returns a pooled workspace; a pinned one stays with
-// its owner.
+// its owner.  The cancellation hook never survives a release: the next
+// borrower must start uncancellable.
 func releaseFlowWorkspace(ws *FlowWorkspace, pooled bool) {
 	if pooled {
+		ws.Stop = nil
 		flowWorkspacePool.Put(ws)
 	}
 }

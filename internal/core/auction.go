@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/stats"
@@ -36,6 +37,29 @@ func (Auction) Name() string { return "auction" }
 
 // Solve implements Solver.  Deterministic; the RNG is unused.
 func (s Auction) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
+	return s.solve(nil, p)
+}
+
+// SolveCtx implements ContextSolver: the bidding loop polls ctx every
+// auctionCtxStride pops, so a deadline fire aborts the auction with
+// ctx.Err() after a bounded amount of extra bidding.  An un-fired ctx
+// leaves the result bit-identical to Solve.
+func (s Auction) SolveCtx(ctx context.Context, p *Problem, _ *stats.RNG) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ctx.Done() == nil {
+		ctx = nil // cancellation impossible; skip the periodic polls
+	}
+	return s.solve(ctx, p)
+}
+
+// auctionCtxStride is how many queue pops happen between cancellation
+// polls: each pop is O(deg) work, so polling every pop would put a ctx.Err
+// atomic load in the inner loop for nothing.
+const auctionCtxStride = 4096
+
+func (s Auction) solve(ctx context.Context, p *Problem) ([]int, error) {
 	for i := range p.In.Workers {
 		if p.In.Workers[i].Capacity > 1 {
 			return nil, fmt.Errorf("core: auction requires unit worker capacities (worker %d has %d)", i, p.In.Workers[i].Capacity)
@@ -69,7 +93,11 @@ func (s Auction) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 			queue = append(queue, w)
 		}
 	}
+	pops := 0
 	for len(queue) > 0 {
+		if pops++; pops%auctionCtxStride == 0 && ctxDone(ctx) {
+			return nil, ctx.Err() // discard the partial matching and prices
+		}
 		w := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		// Find best and second-best net value among w's edges.

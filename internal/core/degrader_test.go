@@ -1,0 +1,225 @@
+package core_test
+
+// External test package: these tests drive the deadline/degradation
+// machinery through faultinject's sleepy and panicking solvers, which
+// import core — an in-package test would be an import cycle.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+func degraderProblem(t testing.TB, nw, nt int, seed uint64) *core.Problem {
+	t.Helper()
+	in := market.MustGenerate(market.FreelanceTraceConfig(nw, nt), seed)
+	p, err := core.NewProblem(in, benefit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDegraderDeadlineDegradesToTerminal is the acceptance scenario: an
+// exact stage that cannot possibly meet the deadline must degrade down to
+// a non-empty greedy assignment within 2× the deadline, with the report
+// naming what was given up.
+func TestDegraderDeadlineDegradesToTerminal(t *testing.T) {
+	const deadline = 200 * time.Millisecond
+	d := core.NewDegrader(deadline,
+		faultinject.SleepySolver{Inner: core.Exact{Kind: core.MutualWeight}, Delay: 10 * time.Second},
+		faultinject.SleepySolver{Inner: core.LocalSearch{Kind: core.MutualWeight}, Delay: 10 * time.Second},
+		core.Greedy{Kind: core.MutualWeight},
+	)
+	p := degraderProblem(t, 40, 30, 1)
+
+	start := time.Now()
+	sel, m, err := core.Run(p, d, stats.NewRNG(1))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed >= 2*deadline {
+		t.Fatalf("degradation took %v, want < %v", elapsed, 2*deadline)
+	}
+	if len(sel) == 0 || m.Pairs == 0 {
+		t.Fatal("degraded round assigned nothing")
+	}
+	rep := d.LastReport()
+	if rep.ServedBy != "greedy" {
+		t.Fatalf("ServedBy = %q, want greedy", rep.ServedBy)
+	}
+	if rep.DegradedFrom != "exact" {
+		t.Fatalf("DegradedFrom = %q, want exact", rep.DegradedFrom)
+	}
+	if !rep.SolveTimedOut {
+		t.Fatal("SolveTimedOut not set")
+	}
+	if len(rep.StageErrors) != 2 {
+		t.Fatalf("StageErrors = %v, want both abandoned stages", rep.StageErrors)
+	}
+}
+
+// TestDegraderNoDeadlineServesPreferred pins the happy path: with solvers
+// that finish, the preferred stage serves and the selection is exactly
+// what the stage alone would produce.
+func TestDegraderNoDeadlineServesPreferred(t *testing.T) {
+	p := degraderProblem(t, 30, 25, 2)
+	d := core.DefaultDegrader()
+	got, _, err := core.Run(p, d, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.LastReport()
+	if rep.ServedBy != "exact" || rep.DegradedFrom != "" || rep.SolveTimedOut {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	want, _, err := core.Run(p, core.Exact{Kind: core.MutualWeight}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("degrader selection size %d, exact %d", len(got), len(want))
+	}
+}
+
+// TestDegraderPanicDegrades: a panicking preferred stage is contained and
+// degraded past, not propagated.
+func TestDegraderPanicDegrades(t *testing.T) {
+	p := degraderProblem(t, 25, 20, 3)
+	d := core.NewDegrader(0,
+		faultinject.NewPanicSolver(core.Exact{Kind: core.MutualWeight}, faultinject.After(0)),
+		core.Greedy{Kind: core.MutualWeight},
+	)
+	sel, _, err := core.Run(p, d, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 {
+		t.Fatal("no assignment after panic degradation")
+	}
+	rep := d.LastReport()
+	if rep.ServedBy != "greedy" || rep.DegradedFrom != "exact" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.StageErrors) != 1 || !strings.Contains(rep.StageErrors[0], "panicked") {
+		t.Fatalf("StageErrors = %v", rep.StageErrors)
+	}
+	if rep.SolveTimedOut {
+		t.Fatal("panic misreported as timeout")
+	}
+}
+
+// TestDegraderCallerContextAborts: once the caller's own context dies the
+// chain must abort rather than keep degrading for nobody.
+func TestDegraderCallerContextAborts(t *testing.T) {
+	p := degraderProblem(t, 25, 20, 4)
+	d := core.NewDegrader(50*time.Millisecond,
+		faultinject.SleepySolver{Inner: core.Exact{Kind: core.MutualWeight}, Delay: 10 * time.Second},
+		core.Greedy{Kind: core.MutualWeight},
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.SolveCtx(ctx, p, stats.NewRNG(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxContainsPanic: the panic fence turns a broken solver into an
+// ordinary error for plain Run callers too.
+func TestRunCtxContainsPanic(t *testing.T) {
+	p := degraderProblem(t, 10, 10, 5)
+	s := faultinject.NewPanicSolver(core.Greedy{Kind: core.MutualWeight}, faultinject.After(0))
+	_, _, err := core.Run(p, s, stats.NewRNG(1))
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want contained panic", err)
+	}
+}
+
+// TestSolverKernelsCancelPromptly drives the exact solver on a market
+// large enough that the flow kernel takes real time, under a context that
+// fires almost immediately, and bounds how long cancellation takes — the
+// per-augmentation poll, not the upfront check, is what has to fire.
+func TestSolverKernelsCancelPromptly(t *testing.T) {
+	p := degraderProblem(t, 400, 300, 6)
+	s := core.Exact{Kind: core.MutualWeight}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.SolveCtx(ctx, p, stats.NewRNG(1))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestSolversHonourCancelledContext: every deadline-aware solver must
+// refuse to serve a result under an already-dead context.
+func TestSolversHonourCancelledContext(t *testing.T) {
+	p := degraderProblem(t, 60, 45, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range []core.ContextSolver{
+		core.Exact{Kind: core.MutualWeight},
+		core.LocalSearch{Kind: core.MutualWeight},
+		core.Auction{Kind: core.MutualWeight},
+	} {
+		if sel, err := s.SolveCtx(ctx, p, stats.NewRNG(1)); !errors.Is(err, context.Canceled) || sel != nil {
+			t.Fatalf("%s: (%v, %v), want (nil, context.Canceled)", s.Name(), sel, err)
+		}
+	}
+}
+
+// TestSolveCtxUnfiredMatchesSolve pins the bit-identical promise: an
+// un-fired context must not change any deadline-aware solver's output.
+func TestSolveCtxUnfiredMatchesSolve(t *testing.T) {
+	p := degraderProblem(t, 60, 45, 7)
+	for _, s := range []core.ContextSolver{
+		core.Exact{Kind: core.MutualWeight},
+		core.LocalSearch{Kind: core.MutualWeight},
+	} {
+		plain, err := s.Solve(p, stats.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxed, err := s.SolveCtx(context.Background(), p, stats.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain) != len(ctxed) {
+			t.Fatalf("%s: ctx changed the selection (%d vs %d edges)", s.Name(), len(plain), len(ctxed))
+		}
+		for i := range plain {
+			if plain[i] != ctxed[i] {
+				t.Fatalf("%s: ctx changed edge %d", s.Name(), i)
+			}
+		}
+	}
+}
+
+// TestDegraderRegistered: the registry entry resolves and solves.
+func TestDegraderRegistered(t *testing.T) {
+	s, err := core.ByName("degrader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := degraderProblem(t, 15, 12, 8)
+	sel, _, err := core.Run(p, s, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 {
+		t.Fatal("registry degrader assigned nothing")
+	}
+}

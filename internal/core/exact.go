@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/bipartite"
 	"repro/internal/stats"
 )
@@ -35,13 +37,41 @@ func (s Exact) Name() string {
 
 // Solve implements Solver.  The RNG is unused: the optimum is deterministic.
 func (s Exact) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
+	return s.solve(nil, p)
+}
+
+// SolveCtx implements ContextSolver: the flow kernel polls ctx once per
+// augmenting path (bipartite.FlowWorkspace.Stop), so a deadline fire costs
+// at most one more Dijkstra round before the solve aborts with ctx.Err().
+// A ctx that never cancels leaves the solve bit-identical to Solve.
+func (s Exact) SolveCtx(ctx context.Context, p *Problem, _ *stats.RNG) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ctx.Done() == nil {
+		ctx = nil // cancellation impossible; skip the per-augmentation polls
+	}
+	return s.solve(ctx, p)
+}
+
+// solve runs the flow reduction, optionally under a cancellation context.
+func (s Exact) solve(ctx context.Context, p *Problem) ([]int, error) {
 	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
 	g := p.graphForInto(s.Kind, ws)
 	if ws.flowWS == nil {
 		ws.flowWS = bipartite.NewFlowWorkspace()
 	}
+	if ctx != nil {
+		ws.flowWS.Stop = func() bool { return ctx.Err() != nil }
+		defer func() { ws.flowWS.Stop = nil }()
+	}
 	m := bipartite.MaxWeightBMatchingWS(g, p.capacityWInto(ws), p.capacityTInto(ws), ws.flowWS)
-	releaseWorkspace(ws, pooled)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err // partial flow: discard, never serve it
+		}
+	}
 	return m.EdgeIdx, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -58,7 +59,17 @@ func (s LocalSearch) Name() string { return "local-search" }
 func (s LocalSearch) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 	ws, pooled := acquireWorkspace(s.WS)
 	defer releaseWorkspace(ws, pooled)
-	return localSearchRun(p, s.Kind, s.MaxPasses, 0, ws), nil
+	return localSearchRun(nil, p, s.Kind, s.MaxPasses, 0, ws)
+}
+
+// SolveCtx implements ContextSolver: the sweep loop polls ctx between
+// passes, so a deadline fire costs at most one more O(E) sweep before the
+// solve aborts with ctx.Err().  An un-fired ctx leaves the result
+// bit-identical to Solve.
+func (s LocalSearch) SolveCtx(ctx context.Context, p *Problem, _ *stats.RNG) ([]int, error) {
+	ws, pooled := acquireWorkspace(s.WS)
+	defer releaseWorkspace(ws, pooled)
+	return localSearchRun(ctx, p, s.Kind, s.MaxPasses, 0, ws)
 }
 
 // LocalSearchSerial is the retained single-threaded reference for
@@ -80,7 +91,7 @@ func (s LocalSearchSerial) Name() string { return "local-search-serial" }
 func (s LocalSearchSerial) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 	ws, pooled := acquireWorkspace(s.WS)
 	defer releaseWorkspace(ws, pooled)
-	return localSearchRun(p, s.Kind, s.MaxPasses, 1, ws), nil
+	return localSearchRun(nil, p, s.Kind, s.MaxPasses, 1, ws)
 }
 
 // parallelLSCutoff is the edge count below which local search stays serial:
@@ -119,7 +130,10 @@ const lsEps = 1e-12
 // maxPasses is exhausted.  procs <= 0 selects GOMAXPROCS with the
 // small-market serial cutoff; 1 forces the serial reference path.  All
 // scratch lives in ws; the returned selection is freshly allocated.
-func localSearchRun(p *Problem, kind WeightKind, maxPasses, procs int, ws *Workspace) []int {
+// A non-nil ctx is polled at the top of every pass; once it fires the run
+// aborts with ctx.Err() (a nil ctx performs no checks at all, keeping the
+// serial reference path byte-identical to the seed semantics).
+func localSearchRun(ctx context.Context, p *Problem, kind WeightKind, maxPasses, procs int, ws *Workspace) ([]int, error) {
 	seed := greedyInto(p, kind, ws)
 	if maxPasses <= 0 {
 		maxPasses = 8
@@ -173,6 +187,9 @@ func localSearchRun(p *Problem, kind WeightKind, maxPasses, procs int, ws *Works
 	}
 
 	for pass := 0; pass < maxPasses; pass++ {
+		if ctxDone(ctx) {
+			return nil, ctx.Err() // discard the partial refinement
+		}
 		// Phase 1 (parallel): per-vertex tables against the frozen state.
 		lsParallel(nW, procs, ls, (*lsState).sweepWorkers)
 		lsParallel(nT, procs, ls, (*lsState).sweepTasks)
@@ -212,7 +229,7 @@ func localSearchRun(p *Problem, kind WeightKind, maxPasses, procs int, ws *Works
 			out = append(out, ei)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // lsState bundles the shared read-mostly arrays of one local-search run so

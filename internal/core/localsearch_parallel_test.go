@@ -39,9 +39,9 @@ func TestLocalSearchParallelMatchesSerial(t *testing.T) {
 	for _, kind := range []WeightKind{MutualWeight, QualityWeight, WorkerWeight} {
 		for i, p := range parallelTestInstances(t) {
 			ws := NewWorkspace()
-			serial := localSearchRun(p, kind, 0, 1, ws)
+			serial, _ := localSearchRun(nil, p, kind, 0, 1, ws)
 			for _, procs := range []int{2, 3, 4, 8} {
-				got := localSearchRun(p, kind, 0, procs, ws)
+				got, _ := localSearchRun(nil, p, kind, 0, procs, ws)
 				if !slices.Equal(got, serial) {
 					t.Fatalf("instance %d (%s) kind %v: procs=%d selection differs from serial\nserial: %v\nparallel: %v",
 						i, p.In.Name, kind, procs, serial, got)

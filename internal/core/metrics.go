@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -92,8 +93,16 @@ func (m Metrics) String() string {
 // single entry point the experiment harness, examples and public API use, so
 // every reported number passed through the same feasibility gate.
 func Run(p *Problem, s Solver, r *stats.RNG) ([]int, Metrics, error) {
+	return RunCtx(context.Background(), p, s, r)
+}
+
+// RunCtx is Run under a context: deadline-aware solvers (ContextSolver)
+// observe ctx cooperatively and return ctx.Err() once it fires, others run
+// to completion.  A solver panic is contained and surfaced as an error, so
+// a serving loop built on RunCtx survives a broken algorithm.
+func RunCtx(ctx context.Context, p *Problem, s Solver, r *stats.RNG) ([]int, Metrics, error) {
 	start := time.Now()
-	sel, err := s.Solve(p, r)
+	sel, err := safeSolve(ctx, p, s, r)
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, Metrics{}, fmt.Errorf("core: %s: %w", s.Name(), err)

@@ -16,6 +16,7 @@ var solverFactories = map[string]func() Solver{
 	"local-search-serial": func() Solver { return LocalSearchSerial{Kind: MutualWeight} },
 	"submodular-greedy":   func() Solver { return SubmodularGreedy{} },
 	"auction":             func() Solver { return Auction{Kind: MutualWeight} },
+	"degrader":            func() Solver { return DefaultDegrader() },
 	"quality-only":        func() Solver { return QualityOnly() },
 	"worker-only":         func() Solver { return WorkerOnly() },
 	"random":              func() Solver { return Random{} },

@@ -1,0 +1,83 @@
+package experiments
+
+// Robustness experiments (X-Rob*): measurements of the serving stack's
+// graceful-degradation behaviour rather than paper reconstructions.  They
+// follow the same runner contract as everything else so cmd/mbabench
+// regenerates them uniformly.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "X-Rob1",
+		Title: "graceful degradation: solution quality vs. round deadline",
+		Expected: "with a generous deadline the degrader serves the exact optimum; as the deadline " +
+			"shrinks below the exact solver's needs it degrades to local-search and finally greedy, " +
+			"trading a bounded few percent of mutual benefit for a bounded round time — quality " +
+			"falls in steps (one per chain stage), never to zero",
+		Run: runRob1,
+	})
+}
+
+func runRob1(w io.Writer, cfg RunConfig) error {
+	nw, nt := cfg.pick(400, 60), cfg.pick(300, 45)
+	in, err := market.Generate(market.FreelanceTraceConfig(nw, nt), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	p, err := core.NewProblem(in, benefit.DefaultParams())
+	if err != nil {
+		return err
+	}
+
+	// Calibrate: the unconstrained exact solve's value and wall time are
+	// the yardstick every deadline is expressed against.
+	_, opt, err := core.Run(p, core.Exact{Kind: core.MutualWeight}, stats.NewRNG(cfg.Seed))
+	if err != nil {
+		return err
+	}
+	exactTime := opt.Elapsed
+	if exactTime <= 0 {
+		exactTime = time.Millisecond
+	}
+	fmt.Fprintf(w, "exact solve: %s for mutual %.2f (deadlines below are multiples of it)\n",
+		exactTime.Round(time.Microsecond), opt.TotalMutual)
+
+	t := newTable(w, "deadline", "served-by", "degraded", "timed-out", "ratio-vs-exact", "round-time")
+	for _, mult := range []float64{4, 1, 0.5, 0.125, 0.015625} {
+		deadline := time.Duration(float64(exactTime) * mult)
+		if deadline <= 0 {
+			deadline = time.Microsecond
+		}
+		d := core.NewDegrader(deadline,
+			core.Exact{Kind: core.MutualWeight},
+			core.LocalSearch{Kind: core.MutualWeight},
+			core.Greedy{Kind: core.MutualWeight},
+		)
+		start := time.Now()
+		_, m, err := core.Run(p, d, stats.NewRNG(cfg.Seed))
+		elapsed := time.Since(start)
+		if err != nil {
+			return err
+		}
+		rep := d.LastReport()
+		degraded := "-"
+		if rep.DegradedFrom != "" {
+			degraded = "from " + rep.DegradedFrom
+		}
+		t.row(fmt.Sprintf("%gx", mult), rep.ServedBy, degraded,
+			fmt.Sprintf("%v", rep.SolveTimedOut),
+			f3(m.TotalMutual/opt.TotalMutual),
+			elapsed.Round(time.Microsecond).String())
+	}
+	return t.flush()
+}

@@ -1,0 +1,218 @@
+// Package faultinject provides the deterministic failure machinery the
+// chaos tests drive the platform with: writers that fail or stall on a
+// schedule, solvers that sleep or panic.  Everything is seeded and
+// repeatable — a chaos run that finds a bug is a chaos run that can be
+// re-run — and safe under -race.
+//
+// The package is production code only in the sense that it ships in the
+// module; nothing outside tests imports it.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// ErrInjected is the error every injected write failure wraps, so tests
+// can tell deliberate faults from real ones with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Schedule decides, per operation index (0-based), whether to inject a
+// fault.  Schedules are pure functions of the index, which is what makes a
+// chaos run deterministic: the fault pattern depends only on operation
+// order, never on timing.
+type Schedule func(op int) bool
+
+// Never injects nothing.
+func Never() Schedule { return func(int) bool { return false } }
+
+// EveryNth injects on operations n-1, 2n-1, … (every n-th operation).
+// n <= 0 panics: a schedule that can't fire is Never, say so.
+func EveryNth(n int) Schedule {
+	if n <= 0 {
+		panic("faultinject: EveryNth requires n > 0")
+	}
+	return func(op int) bool { return op%n == n-1 }
+}
+
+// After injects on every operation from index n onward.
+func After(n int) Schedule { return func(op int) bool { return op >= n } }
+
+// Once injects exactly on operation n.
+func Once(n int) Schedule { return func(op int) bool { return op == n } }
+
+// Seeded injects each operation independently with probability p, decided
+// by a hash of (seed, op) — deterministic, order-stable, and free of
+// shared RNG state so concurrent callers stay race-free.
+func Seeded(seed uint64, p float64) Schedule {
+	return func(op int) bool {
+		x := seed ^ (uint64(op)+1)*0x9e3779b97f4a7c15
+		// splitmix64 finaliser: full-avalanche, so adjacent ops decorrelate.
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return float64(x>>11)/(1<<53) < p
+	}
+}
+
+// FlakyWriter wraps w and fails writes per its schedule.  In full mode an
+// injected write fails having written nothing (the caller can safely
+// retry); in Partial mode it writes roughly half the buffer first —
+// the torn-line case journal recovery and poisoning exist for.  Safe for
+// concurrent use.
+type FlakyWriter struct {
+	// Partial selects torn writes over clean failures.
+	Partial bool
+
+	mu         sync.Mutex
+	w          io.Writer
+	sched      Schedule
+	ops        int
+	injections int
+}
+
+// NewFlakyWriter wraps w with the given fault schedule.
+func NewFlakyWriter(w io.Writer, sched Schedule) *FlakyWriter {
+	if sched == nil {
+		sched = Never()
+	}
+	return &FlakyWriter{w: w, sched: sched}
+}
+
+// Write implements io.Writer.
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	op := f.ops
+	f.ops++
+	if f.sched(op) {
+		f.injections++
+		if f.Partial && len(p) > 1 {
+			n, err := f.w.Write(p[:len(p)/2])
+			if err != nil {
+				return n, fmt.Errorf("faultinject: op %d: %w (and underlying: %v)", op, ErrInjected, err)
+			}
+			return n, fmt.Errorf("faultinject: op %d torn after %d/%d bytes: %w", op, n, len(p), ErrInjected)
+		}
+		return 0, fmt.Errorf("faultinject: op %d: %w", op, ErrInjected)
+	}
+	return f.w.Write(p)
+}
+
+// Injections returns how many faults have fired so far.
+func (f *FlakyWriter) Injections() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injections
+}
+
+// Ops returns how many writes have been attempted so far.
+func (f *FlakyWriter) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// SlowWriter delays every write by Delay before delegating — the
+// disk-under-pressure simulation for journal-latency tests.
+type SlowWriter struct {
+	W     io.Writer
+	Delay time.Duration
+}
+
+// Write implements io.Writer.
+func (s *SlowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.Delay)
+	return s.W.Write(p)
+}
+
+// SleepySolver delays Inner by Delay, observing ctx while it sleeps: a
+// fired deadline aborts the sleep immediately with ctx.Err().  It is the
+// "solver that is too slow for its budget" stand-in of the degradation
+// tests, and keeps Inner's Name so degradation reports read naturally.
+type SleepySolver struct {
+	Inner core.Solver
+	Delay time.Duration
+}
+
+// Name implements core.Solver.
+func (s SleepySolver) Name() string { return s.Inner.Name() }
+
+// Solve implements core.Solver.
+func (s SleepySolver) Solve(p *core.Problem, r *stats.RNG) ([]int, error) {
+	time.Sleep(s.Delay)
+	return s.Inner.Solve(p, r)
+}
+
+// SolveCtx implements core.ContextSolver.
+func (s SleepySolver) SolveCtx(ctx context.Context, p *core.Problem, r *stats.RNG) ([]int, error) {
+	t := time.NewTimer(s.Delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return core.SolveWithContext(ctx, p, s.Inner, r)
+}
+
+// PanicSolver panics instead of solving on scheduled calls — the
+// broken-algorithm stand-in that exercises the panic fences in
+// core.RunCtx and the degrader chain.  Safe for concurrent use.
+type PanicSolver struct {
+	inner core.Solver
+	sched Schedule
+
+	mu    sync.Mutex
+	calls int
+}
+
+// NewPanicSolver wraps inner with a panic schedule.
+func NewPanicSolver(inner core.Solver, sched Schedule) *PanicSolver {
+	if sched == nil {
+		sched = Never()
+	}
+	return &PanicSolver{inner: inner, sched: sched}
+}
+
+// Name implements core.Solver.
+func (s *PanicSolver) Name() string { return s.inner.Name() }
+
+// Calls returns how many solves have been attempted so far.
+func (s *PanicSolver) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func (s *PanicSolver) maybePanic() {
+	s.mu.Lock()
+	call := s.calls
+	s.calls++
+	fire := s.sched(call)
+	s.mu.Unlock()
+	if fire {
+		panic(fmt.Sprintf("faultinject: scheduled panic on call %d", call))
+	}
+}
+
+// Solve implements core.Solver.
+func (s *PanicSolver) Solve(p *core.Problem, r *stats.RNG) ([]int, error) {
+	s.maybePanic()
+	return s.inner.Solve(p, r)
+}
+
+// SolveCtx implements core.ContextSolver.
+func (s *PanicSolver) SolveCtx(ctx context.Context, p *core.Problem, r *stats.RNG) ([]int, error) {
+	s.maybePanic()
+	return core.SolveWithContext(ctx, p, s.inner, r)
+}

@@ -1,0 +1,63 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSchedulesAreDeterministic(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched Schedule
+		want  []bool // ops 0..5
+	}{
+		{"Never", Never(), []bool{false, false, false, false, false, false}},
+		{"EveryNth(3)", EveryNth(3), []bool{false, false, true, false, false, true}},
+		{"After(4)", After(4), []bool{false, false, false, false, true, true}},
+		{"Once(2)", Once(2), []bool{false, false, true, false, false, false}},
+	}
+	for _, c := range cases {
+		for op, want := range c.want {
+			if got := c.sched(op); got != want {
+				t.Errorf("%s(%d) = %v, want %v", c.name, op, got, want)
+			}
+		}
+	}
+	// Seeded: pure in (seed, op) — two evaluations always agree — and a
+	// probability-1 schedule always fires.
+	s := Seeded(7, 0.5)
+	for op := 0; op < 64; op++ {
+		if s(op) != s(op) {
+			t.Fatalf("Seeded unstable at op %d", op)
+		}
+		if !Seeded(7, 1.0)(op) {
+			t.Fatalf("Seeded(p=1) did not fire at op %d", op)
+		}
+	}
+}
+
+func TestFlakyWriterFullAndPartial(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFlakyWriter(&buf, EveryNth(2)) // fail ops 1, 3, ...
+	if n, err := fw.Write([]byte("aaaa\n")); n != 5 || err != nil {
+		t.Fatalf("clean write: (%d, %v)", n, err)
+	}
+	if n, err := fw.Write([]byte("bbbb\n")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("full failure: (%d, %v), want (0, ErrInjected)", n, err)
+	}
+	if fw.Injections() != 1 || fw.Ops() != 2 {
+		t.Fatalf("counters: %d injections over %d ops", fw.Injections(), fw.Ops())
+	}
+	fw.Partial = true
+	if _, err := fw.Write([]byte("cccc\n")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fw.Write([]byte("dddd\n"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial failure: (%d, %v), want 2 bytes torn", n, err)
+	}
+	if got := buf.String(); got != "aaaa\ncccc\ndd" {
+		t.Fatalf("underlying buffer = %q", got)
+	}
+}

@@ -3,24 +3,90 @@ package platform
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 )
+
+// FsyncPolicy selects how hard Append pushes a line toward stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncNever trusts the OS page cache: a process crash loses nothing,
+	// a machine crash may lose the tail.  The default, and the right
+	// trade-off for an experiment platform.
+	FsyncNever FsyncPolicy = iota
+	// FsyncAlways calls Sync after every appended line when the underlying
+	// writer supports it (*os.File does); a machine crash then loses at
+	// most the line being written — exactly the torn tail ReadLogPartial
+	// recovers from.
+	FsyncAlways
+)
+
+// LogOptions tunes the journal's durability behaviour.  The zero value is
+// the seed semantics: no fsync, no retries.
+type LogOptions struct {
+	Fsync FsyncPolicy
+	// MaxRetries is how many times a failed Write is retried (the unwritten
+	// suffix only) before Append gives up; 0 disables retrying.  Transient
+	// full-disk or EINTR-style blips are absorbed here instead of failing a
+	// round.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt; 0 means 1ms.
+	RetryBackoff time.Duration
+}
+
+// ErrLogPoisoned marks a journal that failed partway through a line.  All
+// later Appends are refused: the file ends mid-line, so appending more
+// events would place them *after* the corruption, and recovery — which
+// truncates at the first corrupt line — would silently drop them while the
+// in-memory state retained them.  Refusing keeps "recovered state ==
+// applied state minus rolled-back events" true.
+var ErrLogPoisoned = errors.New("platform: journal poisoned by a partial line write")
+
+// syncer is the optional durability hook of the underlying writer
+// (*os.File implements it).
+type syncer interface{ Sync() error }
 
 // Log is an append-only JSONL event log.  One event per line keeps the
 // format greppable, streamable and recoverable: a torn final line (crash
 // mid-write) is detected and reported with its offset rather than silently
 // corrupting a replay.
+//
+// Log methods are not safe for concurrent use; the platform serialises
+// Appends under the state mutex (State.ApplyJournaled), which is also what
+// keeps journal order identical to sequence order.
 type Log struct {
-	w io.Writer
+	w        io.Writer
+	opts     LogOptions
+	poisoned bool
 }
 
-// NewLog starts appending to w.  The caller owns w's lifecycle (file,
-// buffer, network); Log never closes it.
+// NewLog starts appending to w with zero-value options.  The caller owns
+// w's lifecycle (file, buffer, network); Log never closes it.
 func NewLog(w io.Writer) *Log { return &Log{w: w} }
 
-// Append writes one event as a JSON line.
+// NewLogWithOptions starts appending to w under the given durability
+// options.
+func NewLogWithOptions(w io.Writer, opts LogOptions) *Log {
+	return &Log{w: w, opts: opts}
+}
+
+// Poisoned reports whether a partial-line failure has made the journal
+// unappendable (see ErrLogPoisoned).
+func (l *Log) Poisoned() bool { return l.poisoned }
+
+// Append writes one event as a JSON line, retrying transient write
+// failures on the unwritten suffix and fsyncing per the policy.  An error
+// return means the line is NOT durably in the log: either nothing of it
+// was written (retryable — the log stays line-aligned) or it is torn
+// mid-line, in which case the log is poisoned and says so.
 func (l *Log) Append(e Event) error {
+	if l.poisoned {
+		return ErrLogPoisoned
+	}
 	if err := e.Validate(); err != nil {
 		return err
 	}
@@ -28,10 +94,49 @@ func (l *Log) Append(e Event) error {
 	if err != nil {
 		return err
 	}
-	if _, err := l.w.Write(line); err != nil {
-		return fmt.Errorf("platform: appending to log: %w", err)
+	if err := l.write(line); err != nil {
+		return err
+	}
+	if l.opts.Fsync == FsyncAlways {
+		if s, ok := l.w.(syncer); ok {
+			if err := s.Sync(); err != nil {
+				// The line may or may not have reached the platter; assume
+				// the worst so recovery semantics stay conservative.
+				l.poisoned = true
+				return fmt.Errorf("platform: fsyncing log: %w", err)
+			}
+		}
 	}
 	return nil
+}
+
+// write pushes line with bounded retry-with-backoff, always resuming at
+// the first unwritten byte so a short write never duplicates a prefix.
+func (l *Log) write(line []byte) error {
+	backoff := l.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	n := 0
+	for attempt := 0; ; attempt++ {
+		k, err := l.w.Write(line[n:])
+		n += k
+		if n >= len(line) && err == nil {
+			return nil
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		if attempt >= l.opts.MaxRetries {
+			if n > 0 {
+				l.poisoned = true
+				return fmt.Errorf("platform: appending to log: %w (wrote %d/%d bytes; journal poisoned)", err, n, len(line))
+			}
+			return fmt.Errorf("platform: appending to log: %w", err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // ReadLog parses a JSONL event stream.  Every event is validated; sequence

@@ -1,0 +1,286 @@
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// TestReadLogPartialCorruptionThenValidLines pins the truncate-at-first-
+// corruption contract: valid lines *after* a corrupt one are dropped too,
+// never resurrected — replaying them would build a state that diverges
+// from what any pre-corruption reader saw.
+func TestReadLogPartialCorruptionThenValidLines(t *testing.T) {
+	data := buildCleanLog(t, 6)
+	lines := bytes.Split(data, []byte("\n"))
+	lines[2] = []byte(`{"seq":`) // torn mid-log; lines 3..5 remain valid JSON
+	corrupted := bytes.Join(lines, []byte("\n"))
+
+	events, dropped := ReadLogPartial(bytes.NewReader(corrupted))
+	if dropped == nil {
+		t.Fatal("corruption not reported")
+	}
+	if len(events) != 2 {
+		t.Fatalf("recovered %d events, want only the 2 before the corruption", len(events))
+	}
+
+	state, replayErr, dropped2 := RecoverLog(3, bytes.NewReader(corrupted))
+	if replayErr != nil {
+		t.Fatal(replayErr)
+	}
+	if dropped2 == nil {
+		t.Fatal("RecoverLog lost the diagnostic")
+	}
+	w, tk := state.Counts()
+	if w+tk != 2 {
+		t.Fatalf("recovered state has %d entities, want 2", w+tk)
+	}
+}
+
+// TestSubmitRollsBackOnJournalFailure is the state-applied-but-journal-
+// failed contract: a Submit whose append fails must leave the state as if
+// the event never happened, and the journal must stay replayable to
+// exactly the live state.
+func TestSubmitRollsBackOnJournalFailure(t *testing.T) {
+	var buf bytes.Buffer
+	fw := faultinject.NewFlakyWriter(&buf, faultinject.Once(1)) // second append fails cleanly
+	svc := mustService(t, NewLog(fw))
+
+	if _, err := svc.Submit(NewWorkerJoined(validWorker())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(NewWorkerJoined(validWorker())); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected journal failure", err)
+	}
+	if w, _ := svc.State().Counts(); w != 1 {
+		t.Fatalf("workers = %d after rollback, want 1", w)
+	}
+	// The rolled-back sequence number must be reused, not skipped, so the
+	// journal stays gapless relative to the state.
+	applied, err := svc.Submit(NewTaskPosted(validTask()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.Seq != 2 {
+		t.Fatalf("seq = %d after rollback, want 2", applied.Seq)
+	}
+
+	events, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(3, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIn, _, _ := svc.State().Snapshot()
+	replayIn, _, _ := replayed.Snapshot()
+	if !reflect.DeepEqual(liveIn, replayIn) {
+		t.Fatal("replayed state diverges from live state after rollback")
+	}
+}
+
+// TestAppendRetriesTransientFailure: a clean (zero-byte) write failure is
+// absorbed by the retry policy without the caller noticing.
+func TestAppendRetriesTransientFailure(t *testing.T) {
+	var buf bytes.Buffer
+	fw := faultinject.NewFlakyWriter(&buf, faultinject.Once(0))
+	l := NewLogWithOptions(fw, LogOptions{MaxRetries: 2, RetryBackoff: time.Microsecond})
+	s := mustState(t)
+	e, err := s.Apply(NewWorkerJoined(validWorker()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(e); err != nil {
+		t.Fatalf("retry did not absorb the transient failure: %v", err)
+	}
+	if fw.Injections() != 1 {
+		t.Fatalf("injections = %d", fw.Injections())
+	}
+	if events, err := ReadLog(bytes.NewReader(buf.Bytes())); err != nil || len(events) != 1 {
+		t.Fatalf("log after retry: %d events, err %v", len(events), err)
+	}
+}
+
+// TestAppendPartialWritePoisonsLog: a torn line must poison the journal —
+// appending past it would place live events after the corruption, where
+// recovery's truncate-at-first-corruption policy silently drops them.
+func TestAppendPartialWritePoisonsLog(t *testing.T) {
+	var buf bytes.Buffer
+	fw := faultinject.NewFlakyWriter(&buf, faultinject.Once(1))
+	fw.Partial = true
+	l := NewLog(fw)
+	s := mustState(t)
+
+	e1, err := s.Apply(NewWorkerJoined(validWorker()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(e1); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.Apply(NewWorkerJoined(validWorker()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(e2); err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn append err = %v", err)
+	}
+	if !l.Poisoned() {
+		t.Fatal("torn line did not poison the log")
+	}
+	e3, err := s.Apply(NewWorkerJoined(validWorker()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(e3); !errors.Is(err, ErrLogPoisoned) {
+		t.Fatalf("append on poisoned log = %v, want ErrLogPoisoned", err)
+	}
+	// Recovery sees the clean first line and reports the torn second.
+	events, dropped := ReadLogPartial(bytes.NewReader(buf.Bytes()))
+	if len(events) != 1 || dropped == nil {
+		t.Fatalf("recovered %d events, dropped %v", len(events), dropped)
+	}
+}
+
+// TestCloseRoundSurvivesSolverPanic: a panicking solver costs the round
+// its assignment, not the process — and the round marker still journals,
+// so recovery counts the round.
+func TestCloseRoundSurvivesSolverPanic(t *testing.T) {
+	var buf bytes.Buffer
+	state := mustState(t)
+	solver := faultinject.NewPanicSolver(core.Greedy{Kind: core.MutualWeight}, faultinject.After(0))
+	svc, err := NewService(state, solver, benefit.DefaultParams(), NewLog(&buf), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(NewWorkerJoined(validWorker())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(NewTaskPosted(validTask())); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.CloseRound()
+	if err != nil {
+		t.Fatalf("panic escaped the round: %v", err)
+	}
+	if res.SolveError == "" || !strings.Contains(res.SolveError, "panicked") {
+		t.Fatalf("SolveError = %q", res.SolveError)
+	}
+	if len(res.Pairs) != 0 {
+		t.Fatal("failed solve still assigned pairs")
+	}
+	if res.Seq == 0 {
+		t.Fatal("round marker seq not surfaced")
+	}
+	if state.Rounds() != 1 {
+		t.Fatalf("rounds = %d", state.Rounds())
+	}
+	recovered, replayErr, dropped := RecoverLog(3, bytes.NewReader(buf.Bytes()))
+	if replayErr != nil || dropped != nil {
+		t.Fatalf("recovery: %v / %v", replayErr, dropped)
+	}
+	if recovered.Rounds() != 1 {
+		t.Fatalf("recovered rounds = %d", recovered.Rounds())
+	}
+}
+
+// TestCloseRoundDeadlineDegrades is the platform-level acceptance test:
+// exact under an impossible deadline degrades to a non-empty greedy
+// assignment within 2× the deadline, with the degradation visible in the
+// RoundResult.
+func TestCloseRoundDeadlineDegrades(t *testing.T) {
+	const deadline = 200 * time.Millisecond
+	state := mustState(t)
+	solver := core.NewDegrader(deadline,
+		faultinject.SleepySolver{Inner: core.Exact{Kind: core.MutualWeight}, Delay: 10 * time.Second},
+		faultinject.SleepySolver{Inner: core.LocalSearch{Kind: core.MutualWeight}, Delay: 10 * time.Second},
+		core.Greedy{Kind: core.MutualWeight},
+	)
+	svc, err := NewService(state, solver, benefit.DefaultParams(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := svc.Submit(NewWorkerJoined(validWorker())); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Submit(NewTaskPosted(validTask())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	res, err := svc.CloseRound()
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed >= 2*deadline {
+		t.Fatalf("round took %v, want < %v", elapsed, 2*deadline)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("degraded round assigned nothing")
+	}
+	if res.ServedBy != "greedy" || res.DegradedFrom != "exact" || !res.SolveTimedOut {
+		t.Fatalf("degradation not surfaced: %+v", res)
+	}
+}
+
+// TestRoundResultSeqMatchesJournal: the surfaced marker seq is the one in
+// the journal.
+func TestRoundResultSeqMatchesJournal(t *testing.T) {
+	var buf bytes.Buffer
+	svc := mustService(t, NewLog(&buf))
+	if _, err := svc.Submit(NewWorkerJoined(validWorker())); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.CloseRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if last.Kind != EventRoundClosed || last.Seq != res.Seq {
+		t.Fatalf("journal tail %v vs result seq %d", last, res.Seq)
+	}
+}
+
+// TestDegraderRNGDeterminism guards the rng.Split-per-stage design: two
+// identically seeded services running the same degrader chain over the
+// same submissions must produce identical rounds.
+func TestDegraderRNGDeterminism(t *testing.T) {
+	run := func() *RoundResult {
+		state := mustState(t)
+		svc, err := NewService(state, core.DefaultDegrader(), benefit.DefaultParams(), nil, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := svc.Submit(NewWorkerJoined(validWorker())); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := svc.Submit(NewTaskPosted(validTask())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := svc.CloseRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Pairs, b.Pairs) {
+		t.Fatal("identical seeds produced different rounds")
+	}
+}

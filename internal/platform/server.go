@@ -1,10 +1,15 @@
 package platform
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/market"
 )
@@ -21,14 +26,55 @@ import (
 // With drain=true every task assigned at least one worker in the round is
 // closed afterwards — the "one round collects the panel" policy; without it
 // tasks stay open and keep collecting across rounds.
+//
+// Robustness posture: POST bodies are size-capped (413 past the limit),
+// ingestion requests run under a per-request timeout, and POST /v1/rounds
+// is single-flight — a second concurrent close gets 409 with Retry-After
+// instead of queueing behind the solver, and a round that exceeds its
+// budget gets 503.  All limits live in ServerOptions.
 type Server struct {
-	svc *Service
-	mux *http.ServeMux
+	svc     *Service
+	mux     *http.ServeMux
+	opts    ServerOptions
+	closing atomic.Bool // single-flight guard on POST /v1/rounds
 }
 
-// NewServer wires the HTTP handlers around a service.
+// ServerOptions bounds the server's resource exposure.  The zero value
+// disables every limit (seed semantics); NewServerOptions returns the
+// recommended defaults.
+type ServerOptions struct {
+	// MaxBodyBytes caps POST bodies via http.MaxBytesReader; 0 means
+	// unlimited.
+	MaxBodyBytes int64
+	// RequestTimeout bounds ingestion requests (everything except round
+	// closes) through the request context; 0 means unbounded.
+	RequestTimeout time.Duration
+	// RoundTimeout bounds POST /v1/rounds; the round is cancelled
+	// cooperatively through the solver stack and the request answered 503.
+	// 0 means unbounded.
+	RoundTimeout time.Duration
+}
+
+// NewServerOptions returns the recommended limits: 1 MiB bodies (a worker
+// profile is a few KiB), 5s ingestion requests, unbounded rounds (bound
+// the solve itself with a core.Degrader deadline instead — a cancelled
+// round helps nobody, a degraded one serves everyone).
+func NewServerOptions() ServerOptions {
+	return ServerOptions{
+		MaxBodyBytes:   1 << 20,
+		RequestTimeout: 5 * time.Second,
+	}
+}
+
+// NewServer wires the HTTP handlers around a service with zero-value
+// (unlimited) options.
 func NewServer(svc *Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+	return NewServerWithOptions(svc, ServerOptions{})
+}
+
+// NewServerWithOptions wires the HTTP handlers with explicit limits.
+func NewServerWithOptions(svc *Service, opts ServerOptions) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), opts: opts}
 	s.mux.HandleFunc("POST /v1/workers", s.handleAddWorker)
 	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleRemoveWorker)
 	s.mux.HandleFunc("POST /v1/tasks", s.handleAddTask)
@@ -38,9 +84,37 @@ func NewServer(svc *Service) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler.  Ingestion requests get the
+// per-request deadline here; round closes manage their own (longer)
+// budget in handleCloseRound.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.opts.RequestTimeout > 0 && !(r.Method == http.MethodPost && r.URL.Path == "/v1/rounds") {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// decodeBody decodes a size-capped JSON body into v.  The caller maps the
+// error; oversized bodies surface as *http.MaxBytesError.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := r.Body
+	if s.opts.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	return json.NewDecoder(body).Decode(v)
+}
+
+// writeDecodeError distinguishes an oversized body (413) from a malformed
+// one (400).
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // writeJSON renders v with the given status.
@@ -57,8 +131,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
 	var worker market.Worker
-	if err := json.NewDecoder(r.Body).Decode(&worker); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding worker: %w", err))
+	if err := s.decodeBody(w, r, &worker); err != nil {
+		writeDecodeError(w, fmt.Errorf("decoding worker: %w", err))
 		return
 	}
 	applied, err := s.svc.Submit(NewWorkerJoined(worker))
@@ -84,8 +158,8 @@ func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAddTask(w http.ResponseWriter, r *http.Request) {
 	var task market.Task
-	if err := json.NewDecoder(r.Body).Decode(&task); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding task: %w", err))
+	if err := s.decodeBody(w, r, &task); err != nil {
+		writeDecodeError(w, fmt.Errorf("decoding task: %w", err))
 		return
 	}
 	applied, err := s.svc.Submit(NewTaskPosted(task))
@@ -119,8 +193,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleCloseRound(w http.ResponseWriter, r *http.Request) {
-	res, err := s.svc.CloseRound()
+	// Single-flight: a concurrent second close would only queue behind the
+	// solver on roundMu; telling the client to come back is strictly better.
+	if !s.closing.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, errors.New("a round is already closing"))
+		return
+	}
+	defer s.closing.Store(false)
+
+	ctx := r.Context()
+	if s.opts.RoundTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RoundTimeout)
+		defer cancel()
+	}
+	res, err := s.svc.CloseRoundCtx(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("round abandoned: %w", err))
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -129,7 +223,14 @@ func (s *Server) handleCloseRound(w http.ResponseWriter, r *http.Request) {
 		for _, p := range res.Pairs {
 			assigned[p.TaskID] = true
 		}
+		// Close in sorted order so the journal (and any replay) is
+		// deterministic instead of following map iteration order.
+		ids := make([]int, 0, len(assigned))
 		for id := range assigned {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
 			if _, err := s.svc.Submit(NewTaskClosed(id)); err != nil {
 				writeError(w, http.StatusInternalServerError, err)
 				return

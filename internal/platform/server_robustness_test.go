@@ -1,0 +1,163 @@
+package platform
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+func newLimitedServer(t *testing.T, solver core.Solver, opts ServerOptions) *httptest.Server {
+	t.Helper()
+	state := mustState(t)
+	svc, err := NewService(state, solver, benefit.DefaultParams(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServerWithOptions(svc, opts))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestServerRejectsOversizedBody(t *testing.T) {
+	ts := newLimitedServer(t, core.Greedy{Kind: core.MutualWeight}, ServerOptions{MaxBodyBytes: 256})
+	big := strings.NewReader(`{"capacity": 1, "padding": "` + strings.Repeat("x", 1024) + `"}`)
+	resp, err := http.Post(ts.URL+"/v1/workers", "application/json", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	// A within-limit request still works.
+	resp2, out := postJSON(t, ts.URL+"/v1/tasks", validTask())
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("in-limit request status %d (%v)", resp2.StatusCode, out)
+	}
+}
+
+func TestServerSingleFlightRound(t *testing.T) {
+	// A solver slow enough that the second close definitely overlaps the
+	// first.  No deadline: the first round must succeed.
+	slow := faultinject.SleepySolver{Inner: core.Greedy{Kind: core.MutualWeight}, Delay: 300 * time.Millisecond}
+	ts := newLimitedServer(t, slow, NewServerOptions())
+	if resp, _ := postJSON(t, ts.URL+"/v1/workers", validWorker()); resp.StatusCode != http.StatusCreated {
+		t.Fatal("seeding worker failed")
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/tasks", validTask()); resp.StatusCode != http.StatusCreated {
+		t.Fatal("seeding task failed")
+	}
+
+	statuses := make([]int, 2)
+	var retryAfter string
+	var wg sync.WaitGroup
+	for i := range statuses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 1 {
+				time.Sleep(50 * time.Millisecond) // land inside the first solve
+			}
+			resp, err := http.Post(ts.URL+"/v1/rounds", "application/json", bytes.NewReader(nil))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusConflict {
+				retryAfter = resp.Header.Get("Retry-After")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if statuses[0] != http.StatusOK {
+		t.Fatalf("first close status = %d", statuses[0])
+	}
+	if statuses[1] != http.StatusConflict {
+		t.Fatalf("overlapping close status = %d, want 409", statuses[1])
+	}
+	if retryAfter == "" {
+		t.Fatal("409 carried no Retry-After")
+	}
+	// The guard releases: a later close succeeds.
+	resp, _ := postJSON(t, ts.URL+"/v1/rounds", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-conflict close status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerRoundTimeoutReturns503(t *testing.T) {
+	slow := faultinject.SleepySolver{Inner: core.Greedy{Kind: core.MutualWeight}, Delay: 10 * time.Second}
+	opts := NewServerOptions()
+	opts.RoundTimeout = 100 * time.Millisecond
+	ts := newLimitedServer(t, slow, opts)
+	if resp, _ := postJSON(t, ts.URL+"/v1/workers", validWorker()); resp.StatusCode != http.StatusCreated {
+		t.Fatal("seeding worker failed")
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/tasks", validTask()); resp.StatusCode != http.StatusCreated {
+		t.Fatal("seeding task failed")
+	}
+	start := time.Now()
+	resp, _ := postJSON(t, ts.URL+"/v1/rounds", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 carried no Retry-After")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timed-out round took %v", elapsed)
+	}
+}
+
+func TestServerDrainClosesTasksInSortedOrder(t *testing.T) {
+	var buf bytes.Buffer
+	state := mustState(t)
+	svc, err := NewService(state, core.Greedy{Kind: core.MutualWeight}, benefit.DefaultParams(), NewLog(&buf), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServerWithOptions(svc, NewServerOptions()))
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 4; i++ {
+		if resp, _ := postJSON(t, ts.URL+"/v1/workers", validWorker()); resp.StatusCode != http.StatusCreated {
+			t.Fatal("seeding worker failed")
+		}
+		if resp, _ := postJSON(t, ts.URL+"/v1/tasks", validTask()); resp.StatusCode != http.StatusCreated {
+			t.Fatal("seeding task failed")
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/rounds?drain=true", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain round status = %d", resp.StatusCode)
+	}
+	events, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastClosed := -1
+	sawClosed := 0
+	for _, e := range events {
+		if e.Kind != EventTaskClosed {
+			continue
+		}
+		sawClosed++
+		if *e.TaskID <= lastClosed {
+			t.Fatalf("drain closed task %d after %d — not sorted", *e.TaskID, lastClosed)
+		}
+		lastClosed = *e.TaskID
+	}
+	if sawClosed == 0 {
+		t.Fatal("drain closed nothing")
+	}
+}

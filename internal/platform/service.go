@@ -1,11 +1,13 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/benefit"
 	"repro/internal/core"
+	"repro/internal/market"
 	"repro/internal/stats"
 )
 
@@ -28,6 +30,19 @@ type RoundResult struct {
 	// the round was solving.  Metrics still describe the full solve-time
 	// assignment.
 	StalePairs int `json:"stale_pairs,omitempty"`
+	// Seq is the journal sequence number of this round's marker event —
+	// the handle for locating the round in the log after recovery.
+	Seq uint64 `json:"seq,omitempty"`
+	// ServedBy / DegradedFrom / SolveTimedOut mirror core.SolveReport when
+	// the solver is a composite (core.Degrader): which stage served the
+	// round, what it degraded from, and whether a deadline fired.
+	ServedBy      string `json:"served_by,omitempty"`
+	DegradedFrom  string `json:"degraded_from,omitempty"`
+	SolveTimedOut bool   `json:"solve_timed_out,omitempty"`
+	// SolveError is set when the solve failed outright (every degrader
+	// stage exhausted, or a panicking solver).  The round still closed —
+	// its marker is journaled — but assigned nothing.
+	SolveError string `json:"solve_error,omitempty"`
 }
 
 // Service runs assignment rounds over a live State with a fixed solver and
@@ -45,9 +60,11 @@ type RoundResult struct {
 // steady-state serving loop stops re-allocating its largest data
 // structure.
 //
-// When a journal is attached, Submit holds the service mutex across
-// apply-and-append, so journal lines are written in strictly increasing
-// sequence order — the invariant ReadLog enforces on recovery.
+// When a journal is attached, Submit routes through State.ApplyJournaled,
+// which holds the state mutex across apply-and-append: journal lines are
+// written in strictly increasing sequence order — the invariant ReadLog
+// enforces on recovery — and a journal failure rolls the state mutation
+// back, so memory and disk can never silently drift apart.
 type Service struct {
 	mu     sync.Mutex
 	state  *State
@@ -84,23 +101,16 @@ func NewService(state *State, solver core.Solver, params benefit.Params, log *Lo
 func (s *Service) State() *State { return s.state }
 
 // Submit applies an event to the state and journals it.  With a journal
-// attached, the apply and the append happen atomically under the service
-// mutex: sequence numbers are assigned inside Apply, so interleaving two
-// Submits' apply and append phases would write the journal out of order.
+// attached, the apply and the append happen atomically under the state
+// mutex (State.ApplyJournaled): sequence numbers are assigned inside the
+// apply, so interleaving two Submits' apply and append phases would write
+// the journal out of order — and if the append fails, the apply is rolled
+// back, so a Submit error means the event happened nowhere.
 func (s *Service) Submit(e Event) (Event, error) {
 	if s.log == nil {
 		return s.state.Apply(e)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	applied, err := s.state.Apply(e)
-	if err != nil {
-		return Event{}, err
-	}
-	if err := s.log.Append(applied); err != nil {
-		return Event{}, err
-	}
-	return applied, nil
+	return s.state.ApplyJournaled(e, s.log.Append)
 }
 
 // CloseRound assigns all open tasks to the live workforce, journals the
@@ -116,6 +126,19 @@ func (s *Service) Submit(e Event) (Event, error) {
 // dropped (counted in StalePairs) rather than handed out against entities
 // that no longer exist.
 func (s *Service) CloseRound() (*RoundResult, error) {
+	return s.CloseRoundCtx(context.Background())
+}
+
+// CloseRoundCtx is CloseRound under a context.  Cancellation is
+// cooperative: deadline-aware solvers (core.ContextSolver, and notably
+// core.Degrader) observe ctx and abort or degrade; others run to
+// completion.  A ctx that dies before the round commits aborts the round
+// without journaling a marker.  A solve that fails for any *other* reason
+// — every degrader stage exhausted, or a panicking solver (contained by
+// core.RunCtx's panic fence) — still closes the round: the marker is
+// journaled, RoundResult.SolveError records why nothing was assigned, and
+// the serving loop lives on.
+func (s *Service) CloseRoundCtx(ctx context.Context) (*RoundResult, error) {
 	s.roundMu.Lock()
 	defer s.roundMu.Unlock()
 
@@ -124,42 +147,73 @@ func (s *Service) CloseRound() (*RoundResult, error) {
 
 	var res RoundResult
 	if in.NumWorkers() > 0 && in.NumTasks() > 0 {
+		s.mu.Lock()
+		r := s.rng.Split()
+		s.mu.Unlock()
 		// Phase 2: construct and solve lock-free on the snapshot, rebuilding
 		// into the previous round's arenas.  prev is owned by roundMu and
 		// nothing outside this method retains views into it (pairs below are
 		// copied out), so the reuse cannot be observed.
-		p, err := core.RebuildProblem(s.prev, in, s.params)
+		pairs, err := s.solveSnapshot(ctx, in, r, workerIDs, taskIDs, &res)
 		if err != nil {
-			return nil, err
-		}
-		s.prev = p
-		s.mu.Lock()
-		r := s.rng.Split()
-		s.mu.Unlock()
-		sel, m, err := core.Run(p, s.solver, r)
-		if err != nil {
-			return nil, err
-		}
-		res.Metrics = m
-		pairs := make([]AssignmentPair, len(sel))
-		for i, ei := range sel {
-			e := &p.Edges[ei]
-			pairs[i] = AssignmentPair{
-				WorkerID: workerIDs[e.W],
-				TaskID:   taskIDs[e.T],
-				Quality:  e.Q,
-				Utility:  e.B,
-				Mutual:   e.M,
+			if ctx.Err() != nil {
+				// The caller is gone; don't journal a marker for a round
+				// that never served anyone.
+				return nil, err
 			}
+			res.SolveError = err.Error()
+		} else {
+			// Phase 3: re-acquire the state and commit only what is still
+			// valid.
+			res.Pairs, res.StalePairs = s.state.filterLivePairs(pairs)
 		}
-		// Phase 3: re-acquire the state and commit only what is still valid.
-		res.Pairs, res.StalePairs = s.state.filterLivePairs(pairs)
 	}
 	marker, err := s.Submit(NewRoundClosed(s.state.Rounds()))
 	if err != nil {
 		return nil, err
 	}
-	_ = marker
+	res.Seq = marker.Seq
 	res.Round = s.state.Rounds()
 	return &res, nil
+}
+
+// solveSnapshot runs problem construction and the solve on an immutable
+// snapshot, filling res's metrics and degradation fields.  The panic fence
+// covers construction as well as the solve (core.RunCtx fences the solver
+// itself), so malformed input or an arena-reuse bug in the rebuild path
+// costs one round, not the process.
+func (s *Service) solveSnapshot(ctx context.Context, in *market.Instance, r *stats.RNG, workerIDs, taskIDs []int, res *RoundResult) (pairs []AssignmentPair, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			pairs, err = nil, fmt.Errorf("platform: round solve panicked: %v", rec)
+		}
+	}()
+	p, err := core.RebuildProblem(s.prev, in, s.params)
+	if err != nil {
+		return nil, err
+	}
+	s.prev = p
+	sel, m, err := core.RunCtx(ctx, p, s.solver, r)
+	if rep, ok := s.solver.(core.SolveReporter); ok {
+		last := rep.LastReport()
+		res.ServedBy = last.ServedBy
+		res.DegradedFrom = last.DegradedFrom
+		res.SolveTimedOut = last.SolveTimedOut
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+	pairs = make([]AssignmentPair, len(sel))
+	for i, ei := range sel {
+		e := &p.Edges[ei]
+		pairs[i] = AssignmentPair{
+			WorkerID: workerIDs[e.W],
+			TaskID:   taskIDs[e.T],
+			Quality:  e.Q,
+			Utility:  e.B,
+			Mutual:   e.M,
+		}
+	}
+	return pairs, nil
 }

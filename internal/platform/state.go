@@ -72,12 +72,59 @@ func (s *State) Apply(e Event) (Event, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	applied, _, err := s.applyLocked(e)
+	return applied, err
+}
+
+// ApplyJournaled applies e and journals the applied event as one atomic
+// step: the state mutex is held across both, so journal lines land in
+// strictly increasing sequence order, and a journal failure rolls the
+// state mutation back via the undo closure — the event then exists
+// neither in memory nor on disk.  This is the state-applied-but-journal-
+// failed contract: Submit can fail *cleanly*, with replay equivalence
+// preserved, instead of letting memory and journal drift apart.
+func (s *State) ApplyJournaled(e Event, journal func(Event) error) (Event, error) {
+	if err := e.Validate(); err != nil {
+		return Event{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied, undo, err := s.applyLocked(e)
+	if err != nil {
+		return Event{}, err
+	}
+	if err := journal(applied); err != nil {
+		undo()
+		return Event{}, fmt.Errorf("platform: event %s rolled back, journal append failed: %w", applied.Kind, err)
+	}
+	return applied, nil
+}
+
+// applyLocked performs the mutation under an already-held write lock and
+// returns, alongside the applied event, an undo closure that restores the
+// exact pre-apply state — entities and all ID/sequence counters.  The
+// closure is only valid until the lock is released and must be called (or
+// discarded) before then.
+func (s *State) applyLocked(e Event) (Event, func(), error) {
+	// All counter state is captured up front: every branch below advances
+	// nextSeq, and the joined/posted branches may advance the ID counters.
+	prev := struct {
+		seq      uint64
+		workerID int
+		taskID   int
+		rounds   int
+	}{s.nextSeq, s.nextWorkerID, s.nextTaskID, s.rounds}
+	restore := func() {
+		s.nextSeq, s.nextWorkerID, s.nextTaskID, s.rounds =
+			prev.seq, prev.workerID, prev.taskID, prev.rounds
+	}
+	undo := restore
 
 	switch e.Kind {
 	case EventWorkerJoined:
 		w := *e.Worker
 		if err := validateWorkerProfile(&w, s.numCategories); err != nil {
-			return Event{}, err
+			return Event{}, nil, err
 		}
 		// During replay, preserve the recorded ID and advance the counter
 		// past it; for fresh events (ID 0 is ambiguous, so fresh events must
@@ -89,19 +136,23 @@ func (s *State) Apply(e Event) (Event, error) {
 			s.nextWorkerID++
 		}
 		if _, dup := s.workers[w.ID]; dup {
-			return Event{}, fmt.Errorf("platform: worker %d already live", w.ID)
+			restore()
+			return Event{}, nil, fmt.Errorf("platform: worker %d already live", w.ID)
 		}
 		s.workers[w.ID] = w
 		e.Worker = &w
+		undo = func() { delete(s.workers, w.ID); restore() }
 	case EventWorkerLeft:
-		if _, ok := s.workers[*e.WorkerID]; !ok {
-			return Event{}, fmt.Errorf("platform: worker %d not live", *e.WorkerID)
+		w, ok := s.workers[*e.WorkerID]
+		if !ok {
+			return Event{}, nil, fmt.Errorf("platform: worker %d not live", *e.WorkerID)
 		}
 		delete(s.workers, *e.WorkerID)
+		undo = func() { s.workers[w.ID] = w; restore() }
 	case EventTaskPosted:
 		t := *e.Task
 		if err := validateTaskShape(&t, s.numCategories); err != nil {
-			return Event{}, err
+			return Event{}, nil, err
 		}
 		if t.ID >= s.nextTaskID {
 			s.nextTaskID = t.ID + 1
@@ -110,22 +161,26 @@ func (s *State) Apply(e Event) (Event, error) {
 			s.nextTaskID++
 		}
 		if _, dup := s.tasks[t.ID]; dup {
-			return Event{}, fmt.Errorf("platform: task %d already open", t.ID)
+			restore()
+			return Event{}, nil, fmt.Errorf("platform: task %d already open", t.ID)
 		}
 		s.tasks[t.ID] = t
 		e.Task = &t
+		undo = func() { delete(s.tasks, t.ID); restore() }
 	case EventTaskClosed:
-		if _, ok := s.tasks[*e.TaskID]; !ok {
-			return Event{}, fmt.Errorf("platform: task %d not open", *e.TaskID)
+		t, ok := s.tasks[*e.TaskID]
+		if !ok {
+			return Event{}, nil, fmt.Errorf("platform: task %d not open", *e.TaskID)
 		}
 		delete(s.tasks, *e.TaskID)
+		undo = func() { s.tasks[t.ID] = t; restore() }
 	case EventRoundClosed:
 		s.rounds++
 	}
 
 	s.nextSeq++
 	e.Seq = s.nextSeq
-	return e, nil
+	return e, undo, nil
 }
 
 // validateWorkerProfile checks the per-worker invariants market.Validate
