@@ -4,7 +4,7 @@
 # and their workspace pool, and the platform server).
 GO ?= go
 
-.PHONY: verify build test vet race chaos bench benchjson bench-diff
+.PHONY: verify build test vet race chaos crash bench benchjson bench-diff
 
 verify: build test vet race
 
@@ -28,6 +28,14 @@ race:
 # rotate the fault pattern.
 chaos:
 	CHAOS_SEED=$${CHAOS_SEED:-1} $(GO) test -race -count=1 -v -run 'Chaos' ./internal/platform/...
+
+# Crash-fidelity suite: a ≥100-round deterministic script re-run with a
+# power cut injected at every checkpoint/segment crash point (torn
+# snapshot, cut rename, torn append, mid-rotation cut, cut heal); after
+# each crash the directory is recovered and the final state must be
+# byte-identical to the crash-free reference.  Seeded like `make chaos`.
+crash:
+	CHAOS_SEED=$${CHAOS_SEED:-1} $(GO) test -race -count=1 -v -run 'TestCrash' ./internal/platform/...
 
 # Construction + greedy hot-path micro-benchmarks (allocation counts
 # included); compare against the committed BENCH_construction.json.

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	mbaserve -addr :8080 -categories 30 -solver greedy -journal market.jsonl
+//	mbaserve -snapshot-dir ./data -snapshot-every 50 -segment-bytes 4194304
+//
+// With -snapshot-dir the journal is segmented inside that directory and a
+// checkpoint (atomic CRC-checked snapshot + journal compaction) is taken
+// every -snapshot-every rounds, so restart recovery costs O(state + tail)
+// instead of replaying history from genesis.
 //
 // API (see internal/platform.Server):
 //
@@ -15,6 +21,7 @@
 //	GET    /v1/stats        live counts
 //	POST   /v1/rounds       close an assignment round (?drain=true to close
 //	                        assigned tasks afterwards)
+//	GET    /v1/checkpoint   take a checkpoint now (snapshot mode only)
 package main
 
 import (
@@ -84,8 +91,15 @@ func main() {
 		roundDeadline = flag.Duration("round-deadline", 0, "per-round solve budget; past it the round degrades down the fallback chain (0 disables)")
 		fallbackChain = flag.String("fallback-chain", "", "comma-separated degradation chain, best first (e.g. exact,local-search,greedy); empty with -round-deadline implies '<solver>,greedy'")
 		fsyncMode     = flag.String("fsync", "never", "journal durability: never (OS page cache) or always (fsync per event)")
+		snapshotDir   = flag.String("snapshot-dir", "", "checkpoint directory: segmented journal + atomic snapshots (mutually exclusive with -journal)")
+		snapshotEvery = flag.Int("snapshot-every", 50, "take a checkpoint every N closed rounds (0 = only via GET /v1/checkpoint)")
+		snapshotKeep  = flag.Int("snapshot-keep", 2, "snapshot generations to retain as the corrupt-snapshot fallback chain")
+		segmentBytes  = flag.Int64("segment-bytes", platform.DefaultSegmentBytes, "seal a journal segment once it reaches this many bytes")
 	)
 	flag.Parse()
+	if *snapshotDir != "" && *journal != "" {
+		log.Fatal("mbaserve: -snapshot-dir and -journal are mutually exclusive (the segmented journal lives in the snapshot dir)")
+	}
 
 	solver, err := buildSolver(*solverName, *fallbackChain, *roundDeadline)
 	if err != nil {
@@ -96,39 +110,62 @@ func main() {
 		log.Fatalf("mbaserve: %v", err)
 	}
 
+	// Bounded retry absorbs transient write blips (a failed event is
+	// rolled back, not half-remembered); fsync policy per the flag.
+	logOpts := platform.LogOptions{
+		Fsync:        fsync,
+		MaxRetries:   3,
+		RetryBackoff: 2 * time.Millisecond,
+	}
+
 	var state *platform.State
-	var jlog *platform.Log
-	var jfile *os.File
-	if *journal != "" {
-		// Replay any existing journal, tolerating a torn tail from a crash
-		// mid-append, then keep appending to it.
-		if f, err := os.Open(*journal); err == nil {
-			var replayErr, dropped error
-			state, replayErr, dropped = platform.RecoverLog(*categories, f)
-			f.Close()
-			if replayErr != nil {
-				log.Fatalf("mbaserve: replaying %s: %v", *journal, replayErr)
-			}
-			if dropped != nil {
-				log.Printf("mbaserve: journal recovery: %v", dropped)
-			}
-			w, t := state.Counts()
-			log.Printf("replayed journal: %d workers, %d tasks, %d rounds", w, t, state.Rounds())
-		} else if !os.IsNotExist(err) {
-			log.Fatalf("mbaserve: opening journal: %v", err)
-		}
-		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	var jnl platform.Journal
+	var jfile *os.File             // single-file mode shutdown handle
+	var seg *platform.SegmentedLog // checkpoint mode journal
+	var cm *platform.CheckpointManager
+	switch {
+	case *snapshotDir != "":
+		// O(state + tail) recovery: newest valid snapshot, then only the
+		// journal segments written after it.
+		var info *platform.RecoveryInfo
+		state, info, err = platform.RecoverDir(*snapshotDir, *categories)
 		if err != nil {
-			log.Fatalf("mbaserve: opening journal for append: %v", err)
+			log.Fatalf("mbaserve: recovering %s: %v", *snapshotDir, err)
 		}
-		jfile = f
-		// Bounded retry absorbs transient write blips (a failed event is
-		// rolled back, not half-remembered); fsync policy per the flag.
-		jlog = platform.NewLogWithOptions(f, platform.LogOptions{
-			Fsync:        fsync,
-			MaxRetries:   3,
-			RetryBackoff: 2 * time.Millisecond,
+		for _, p := range info.CorruptSnapshots {
+			log.Printf("mbaserve: recovery skipped corrupt snapshot %s", p)
+		}
+		if info.TailDropped != nil {
+			log.Printf("mbaserve: recovery dropped torn journal tail: %v", info.TailDropped)
+		}
+		w, t := state.Counts()
+		log.Printf("recovered checkpoint dir: %d workers, %d tasks, %d rounds (snapshot seq %d + %d events from %d segments)",
+			w, t, state.Rounds(), info.Snapshot.Seq, info.EventsReplayed, info.SegmentsReplayed)
+		// OpenSegmentedLog truncates any torn tail before appending — new
+		// events never land after corrupt bytes.
+		seg, err = platform.OpenSegmentedLog(*snapshotDir, platform.SegmentOptions{
+			MaxBytes: *segmentBytes,
+			Log:      logOpts,
 		})
+		if err != nil {
+			log.Fatalf("mbaserve: opening segmented journal: %v", err)
+		}
+		jnl = seg
+	case *journal != "":
+		// Single-file mode: replay tolerating a torn tail from a crash
+		// mid-append, truncate it away, then keep appending.
+		jf, err := platform.OpenJournal(*journal, *categories, logOpts)
+		if err != nil {
+			log.Fatalf("mbaserve: replaying %s: %v", *journal, err)
+		}
+		if jf.Dropped != nil {
+			log.Printf("mbaserve: journal recovery: %v (truncated %d torn bytes)", jf.Dropped, jf.Truncated)
+		}
+		state = jf.State
+		w, t := state.Counts()
+		log.Printf("replayed journal: %d workers, %d tasks, %d rounds", w, t, state.Rounds())
+		jnl = jf.Log
+		jfile = jf.File
 	}
 	if state == nil {
 		if state, err = platform.NewState(*categories); err != nil {
@@ -136,9 +173,19 @@ func main() {
 		}
 	}
 
-	svc, err := platform.NewService(state, solver, benefit.Params{Lambda: *lambda, Beta: 0.5}, jlog, *seed)
+	svc, err := platform.NewService(state, solver, benefit.Params{Lambda: *lambda, Beta: 0.5}, jnl, *seed)
 	if err != nil {
 		log.Fatalf("mbaserve: %v", err)
+	}
+	if seg != nil {
+		cm, err = platform.NewCheckpointManager(state, seg, platform.CheckpointOptions{
+			EveryRounds: *snapshotEvery,
+			Keep:        *snapshotKeep,
+		})
+		if err != nil {
+			log.Fatalf("mbaserve: %v", err)
+		}
+		svc.SetCheckpointer(cm)
 	}
 	// Serve with sane timeouts (a stuck client must not pin a connection
 	// forever; round closes are bounded by WriteTimeout) and shut down
@@ -179,6 +226,18 @@ func main() {
 			log.Printf("mbaserve: journal sync: %v", err)
 		}
 		if err := jfile.Close(); err != nil {
+			log.Printf("mbaserve: journal close: %v", err)
+		}
+	}
+	if cm != nil {
+		// A parting checkpoint makes the next start near-instant: recovery
+		// loads the snapshot and replays an empty tail.
+		if _, err := cm.Checkpoint(); err != nil {
+			log.Printf("mbaserve: shutdown checkpoint: %v", err)
+		}
+	}
+	if seg != nil {
+		if err := seg.Close(); err != nil {
 			log.Printf("mbaserve: journal close: %v", err)
 		}
 	}

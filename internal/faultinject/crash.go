@@ -1,0 +1,110 @@
+package faultinject
+
+// Crash-point injection: a Crasher simulates a power cut at a named
+// point inside the platform's checkpoint/segment writers (it implements
+// platform.CrashHook structurally — At + Wrap — without importing the
+// package).  The writers call At at barriers like "snapshot.rename" and
+// route file writes through Wrap; when the scheduled hit arrives the
+// Crasher "kills the machine": the in-flight operation aborts with
+// ErrCrash, and — because a dead process performs no further I/O — every
+// subsequent At and wrapped Write fails too.  What is left on disk is
+// exactly the artifact a real crash at that point would leave: a torn
+// temp file, an un-renamed complete snapshot, half a journal line, a
+// sealed segment with no successor.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrCrash marks every failure caused by a simulated power cut.
+var ErrCrash = errors.New("faultinject: injected crash")
+
+// Crasher fires once, at the n-th hit of a named crash point, then fails
+// everything after.  Safe for concurrent use.
+type Crasher struct {
+	mu    sync.Mutex
+	point string
+	hit   int
+	torn  bool
+	seen  map[string]int
+	fired bool
+}
+
+// NewCrasher crashes cleanly (between writes) at the hit-th occurrence
+// (0-based) of the named barrier point.
+func NewCrasher(point string, hit int) *Crasher {
+	return &Crasher{point: point, hit: hit, seen: map[string]int{}}
+}
+
+// NewTornCrasher crashes mid-write: at the hit-th Write of the named
+// wrapped stream it persists only the first half of the buffer before
+// dying — the torn-artifact case CRC checks and tail truncation exist
+// for.
+func NewTornCrasher(point string, hit int) *Crasher {
+	return &Crasher{point: point, hit: hit, torn: true, seen: map[string]int{}}
+}
+
+// Fired reports whether the crash has happened.
+func (c *Crasher) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// At implements the barrier half of platform.CrashHook.
+func (c *Crasher) At(point string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fired {
+		return fmt.Errorf("faultinject: at %s after crash: %w", point, ErrCrash)
+	}
+	n := c.seen[point]
+	c.seen[point] = n + 1
+	if !c.torn && point == c.point && n == c.hit {
+		c.fired = true
+		return fmt.Errorf("faultinject: power cut at %s (hit %d): %w", point, n, ErrCrash)
+	}
+	return nil
+}
+
+// Wrap implements the stream half of platform.CrashHook.
+func (c *Crasher) Wrap(point string, w io.Writer) io.Writer {
+	return &crashWriter{c: c, point: point, w: w}
+}
+
+type crashWriter struct {
+	c     *Crasher
+	point string
+	w     io.Writer
+}
+
+func (cw *crashWriter) Write(p []byte) (int, error) {
+	c := cw.c
+	c.mu.Lock()
+	if c.fired {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultinject: write to %s after crash: %w", cw.point, ErrCrash)
+	}
+	// Write hits are counted per stream name under "w:" so barrier hits of
+	// the same name (if any) don't share the schedule.
+	key := "w:" + cw.point
+	n := c.seen[key]
+	c.seen[key] = n + 1
+	fire := c.torn && cw.point == c.point && n == c.hit
+	if fire {
+		c.fired = true
+	}
+	c.mu.Unlock()
+	if !fire {
+		return cw.w.Write(p)
+	}
+	k := 0
+	if len(p) > 1 {
+		k, _ = cw.w.Write(p[:len(p)/2])
+	}
+	return k, fmt.Errorf("faultinject: power cut tore write to %s after %d/%d bytes: %w",
+		cw.point, k, len(p), ErrCrash)
+}

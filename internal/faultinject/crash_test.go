@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCrasherFiresAtScheduledBarrier(t *testing.T) {
+	c := NewCrasher("snapshot.rename", 2)
+	for i := 0; i < 2; i++ {
+		if err := c.At("snapshot.rename"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+		if err := c.At("other.point"); err != nil {
+			t.Fatalf("foreign point tripped the schedule: %v", err)
+		}
+	}
+	if err := c.At("snapshot.rename"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("scheduled hit: got %v, want ErrCrash", err)
+	}
+	if !c.Fired() {
+		t.Fatal("Fired() false after the crash")
+	}
+	// Dead-process semantics: everything fails afterwards.
+	if err := c.At("other.point"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash At succeeded: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.Wrap("any", &buf).Write([]byte("x")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash Write succeeded: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("a dead process wrote %d bytes", buf.Len())
+	}
+}
+
+func TestTornCrasherTearsScheduledWrite(t *testing.T) {
+	c := NewTornCrasher("segment.write", 1)
+	var buf bytes.Buffer
+	w := c.Wrap("segment.write", &buf)
+
+	if _, err := w.Write([]byte("first-line\n")); err != nil {
+		t.Fatalf("hit 0 fired early: %v", err)
+	}
+	payload := []byte("second-line-that-tears\n")
+	n, err := w.Write(payload)
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("scheduled write: got %v, want ErrCrash", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write persisted %d bytes, want half (%d)", n, len(payload)/2)
+	}
+	want := append([]byte("first-line\n"), payload[:len(payload)/2]...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("disk image %q, want %q", buf.Bytes(), want)
+	}
+	// A torn crasher never fires at barriers before its write hit, and
+	// like every crasher it fails everything after.
+	if err := c.At("segment.heal"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash barrier succeeded: %v", err)
+	}
+}
+
+func TestTornCrasherIgnoresForeignStreams(t *testing.T) {
+	c := NewTornCrasher("snapshot.body", 0)
+	var buf bytes.Buffer
+	w := c.Wrap("segment.write", &buf)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			t.Fatalf("foreign stream write %d failed: %v", i, err)
+		}
+	}
+	if c.Fired() {
+		t.Fatal("foreign stream consumed the schedule")
+	}
+	if _, err := c.Wrap("snapshot.body", &buf).Write([]byte("snapshot-bytes")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("scheduled stream: got %v, want ErrCrash", err)
+	}
+}
+
+func TestCrasherBarrierAndWriteSchedulesAreSeparate(t *testing.T) {
+	// A clean crasher on point P must not be advanced by writes to a
+	// stream named P (writes count under the "w:" prefix).
+	c := NewCrasher("p", 0)
+	var buf bytes.Buffer
+	w := c.Wrap("p", &buf)
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatalf("clean crasher tore a write: %v", err)
+	}
+	if err := c.At("p"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("barrier hit 0: got %v, want ErrCrash", err)
+	}
+}

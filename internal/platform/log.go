@@ -2,12 +2,22 @@ package platform
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 )
+
+// Journal is the sink Service journals applied events into.  *Log (one
+// file) and *SegmentedLog (rotating directory) both implement it.  Append
+// is called under the state mutex (State.ApplyJournaled), so
+// implementations see events in strictly increasing sequence order.
+type Journal interface {
+	Append(e Event) error
+}
 
 // FsyncPolicy selects how hard Append pushes a line toward stable storage.
 type FsyncPolicy int
@@ -193,35 +203,53 @@ func ReplayLog(numCategories int, r io.Reader) (*State, error) {
 // lets the operator decide whether a *mid-log* corruption deserves a harder
 // look.
 func ReadLogPartial(r io.Reader) (events []Event, dropped error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	events, _, dropped = readLogPartialOffset(r)
+	return events, dropped
+}
+
+// readLogPartialOffset is ReadLogPartial plus the byte offset of the end
+// of the last fully-valid line — the truncation point that lets a
+// reopened journal resume appending on a clean line boundary instead of
+// after garbage.  A final line lacking its newline is treated as torn
+// even when its bytes happen to parse: accepting it while truncation (or
+// a later append) destroys it would let memory and disk disagree.
+func readLogPartialOffset(r io.Reader) (events []Event, validBytes int64, dropped error) {
+	br := bufio.NewReaderSize(r, 64*1024)
 	lineNo := 0
 	var lastSeq uint64
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return events, validBytes, fmt.Errorf("platform: reading log: %w (recovered %d events)", err, len(events))
+		}
 		if len(line) == 0 {
+			return events, validBytes, nil
+		}
+		lineNo++
+		if err == io.EOF {
+			return events, validBytes, fmt.Errorf("platform: log line %d torn (no trailing newline): recovered %d events", lineNo, len(events))
+		}
+		trimmed := bytes.TrimSuffix(line, []byte("\n"))
+		if len(trimmed) == 0 {
+			validBytes += int64(len(line))
 			continue
 		}
 		var e Event
-		if err := json.Unmarshal(line, &e); err != nil {
-			return events, fmt.Errorf("platform: log line %d corrupt (%v): recovered %d events", lineNo, err, len(events))
+		if err := json.Unmarshal(trimmed, &e); err != nil {
+			return events, validBytes, fmt.Errorf("platform: log line %d corrupt (%v): recovered %d events", lineNo, err, len(events))
 		}
 		if err := e.Validate(); err != nil {
-			return events, fmt.Errorf("platform: log line %d invalid (%v): recovered %d events", lineNo, err, len(events))
+			return events, validBytes, fmt.Errorf("platform: log line %d invalid (%v): recovered %d events", lineNo, err, len(events))
 		}
 		if e.Seq != 0 && e.Seq <= lastSeq {
-			return events, fmt.Errorf("platform: log line %d out of order: recovered %d events", lineNo, len(events))
+			return events, validBytes, fmt.Errorf("platform: log line %d out of order: recovered %d events", lineNo, len(events))
 		}
 		if e.Seq != 0 {
 			lastSeq = e.Seq
 		}
 		events = append(events, e)
+		validBytes += int64(len(line))
 	}
-	if err := sc.Err(); err != nil {
-		return events, fmt.Errorf("platform: reading log: %w (recovered %d events)", err, len(events))
-	}
-	return events, nil
 }
 
 // RecoverLog replays the valid prefix of a possibly-torn journal onto a
@@ -230,4 +258,67 @@ func RecoverLog(numCategories int, r io.Reader) (*State, error, error) {
 	events, dropped := ReadLogPartial(r)
 	state, err := Replay(numCategories, events)
 	return state, err, dropped
+}
+
+// JournalFile is a single-file journal recovered and reopened for append
+// by OpenJournal.
+type JournalFile struct {
+	// State is the replayed state (fresh when the file did not exist).
+	State *State
+	// Log appends to File under the requested durability options.
+	Log *Log
+	// File is the underlying append handle; the caller owns Sync/Close at
+	// shutdown.
+	File *os.File
+	// Dropped is the torn-tail diagnostic (nil when the journal was clean).
+	Dropped error
+	// Truncated is how many bytes of torn tail were removed before the
+	// file was reopened for append.
+	Truncated int64
+}
+
+// OpenJournal recovers a single-file journal and reopens it for
+// appending, truncating any torn tail *first* so new events are never
+// written after corrupt bytes.  Without the truncation, a crash mid-write
+// followed by a restart would append valid events after the torn line —
+// and the next recovery, which stops at the first corrupt line, would
+// silently drop them.
+func OpenJournal(path string, numCategories int, opts LogOptions) (*JournalFile, error) {
+	jf := &JournalFile{}
+	if f, err := os.Open(path); err == nil {
+		fi, statErr := f.Stat()
+		if statErr != nil {
+			f.Close()
+			return nil, fmt.Errorf("platform: stating journal: %w", statErr)
+		}
+		events, valid, dropped := readLogPartialOffset(f)
+		f.Close()
+		state, replayErr := Replay(numCategories, events)
+		if replayErr != nil {
+			return nil, replayErr
+		}
+		jf.State, jf.Dropped = state, dropped
+		if valid < fi.Size() {
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, fmt.Errorf("platform: truncating torn journal tail: %w", err)
+			}
+			jf.Truncated = fi.Size() - valid
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("platform: opening journal: %w", err)
+	}
+	if jf.State == nil {
+		state, err := NewState(numCategories)
+		if err != nil {
+			return nil, err
+		}
+		jf.State = state
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("platform: opening journal for append: %w", err)
+	}
+	jf.File = f
+	jf.Log = NewLogWithOptions(f, opts)
+	return jf, nil
 }

@@ -1,0 +1,378 @@
+package platform
+
+// SegmentedLog rotates the append-only journal across
+// journal.<firstseq>.jsonl files so checkpointing can retire history:
+// once a snapshot covers a whole segment, that segment can be deleted and
+// recovery cost becomes O(snapshot + tail) instead of O(history).
+//
+// Naming: a segment file carries the sequence number of its first event,
+// zero-padded so lexical order equals replay order.  Events are
+// contiguous across segments (sequence numbers never gap within a live
+// journal directory), which is what lets retirement reason about a
+// segment's last event from the next segment's name alone.
+//
+// Torn tails are healed by truncate-then-append: both at open (a crash
+// mid-append leaves half a line at the end of the newest segment) and
+// after a failed in-flight append, the file is truncated back to its last
+// valid byte before anything else is written — new events are never
+// appended after garbage, so the journal never buries committed events
+// behind a corrupt line.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SegmentOptions tunes rotation and per-segment durability.
+type SegmentOptions struct {
+	// MaxBytes seals the active segment once it reaches this size;
+	// 0 means the default (4 MiB).  Negative disables size rotation.
+	MaxBytes int64
+	// RotateRounds seals the active segment after this many round_closed
+	// markers; 0 disables round-based rotation.
+	RotateRounds int
+	// Log is the per-segment durability policy (fsync, retries).
+	Log LogOptions
+	// Hook injects simulated crashes (tests only; nil in production).
+	Hook CrashHook
+}
+
+// DefaultSegmentBytes is the size threshold used when MaxBytes is 0.
+const DefaultSegmentBytes = 4 << 20
+
+// SegmentInfo describes one journal segment on disk.
+type SegmentInfo struct {
+	Path     string `json:"path"`
+	FirstSeq uint64 `json:"first_seq"`
+	Size     int64  `json:"size"`
+}
+
+// SegmentedLog is a rotating journal over a directory.  It implements
+// Journal; like Log, Append is serialised externally by the state mutex
+// (State.ApplyJournaled), but rotation-management entry points
+// (Rotate, RetireThrough) take an internal mutex so the checkpoint
+// manager may call them concurrently with appends.
+type SegmentedLog struct {
+	mu   sync.Mutex
+	dir  string
+	opts SegmentOptions
+
+	f      *os.File // active segment; nil until the first append after a seal
+	log    *Log
+	cur    SegmentInfo
+	rounds int // round markers in the active segment
+
+	sealed  []SegmentInfo // older segments, ascending FirstSeq
+	dropped error         // open-time torn-tail diagnostic, if any
+}
+
+// segmentFileName formats the canonical segment name for a first
+// sequence number.
+func segmentFileName(firstSeq uint64) string {
+	return fmt.Sprintf("journal.%020d.jsonl", firstSeq)
+}
+
+// parseSegmentSeq inverts segmentFileName; ok is false for foreign files.
+func parseSegmentSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "journal.") || !strings.HasSuffix(name, ".jsonl") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "journal."), ".jsonl")
+	var seq uint64
+	if _, err := fmt.Sscanf(mid, "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns dir's journal segments ascending by first
+// sequence number, sizes included.
+func listSegments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []SegmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		seq, ok := parseSegmentSeq(e.Name())
+		if !ok {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, SegmentInfo{Path: filepath.Join(dir, e.Name()), FirstSeq: seq, Size: fi.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].FirstSeq < segs[j].FirstSeq })
+	return segs, nil
+}
+
+// OpenSegmentedLog opens (creating if needed) a segment directory for
+// appending.  If the newest segment ends in a torn line — the signature
+// of a crash mid-append — it is truncated back to its last valid byte
+// before the file is opened for append; the diagnostic is available via
+// Dropped.
+func OpenSegmentedLog(dir string, opts SegmentOptions) (*SegmentedLog, error) {
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sl := &SegmentedLog{dir: dir, opts: opts}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return sl, nil
+	}
+	sl.sealed = segs[:len(segs)-1]
+	active := segs[len(segs)-1]
+
+	valid, dropped, err := scanValidPrefix(active.Path)
+	if err != nil {
+		return nil, err
+	}
+	sl.dropped = dropped
+	if valid < active.Size {
+		// Truncate-then-append: drop the torn tail before the first new
+		// event can land after it.
+		if hook := opts.Hook; hook != nil {
+			if err := hook.At(CrashSegmentHeal); err != nil {
+				return nil, fmt.Errorf("platform: healing segment %s: %w", active.Path, err)
+			}
+		}
+		if err := os.Truncate(active.Path, valid); err != nil {
+			return nil, fmt.Errorf("platform: healing segment %s: %w", active.Path, err)
+		}
+		active.Size = valid
+	}
+	f, err := os.OpenFile(active.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sl.attach(f, active)
+	// Round markers already inside the reopened segment are not recounted:
+	// rotation thresholds are heuristics, and a segment slightly overshooting
+	// its round budget across a restart is harmless.
+	return sl, nil
+}
+
+// attach installs f as the active segment and builds its Log chain:
+// Log → crash-hook wrapper → byte counter → file, so the counter sees
+// exactly the bytes that reached the file (torn halves included).
+func (sl *SegmentedLog) attach(f *os.File, info SegmentInfo) {
+	sl.f = f
+	sl.cur = info
+	var w io.Writer = &countingWriter{w: f, n: &sl.cur.Size}
+	if sl.opts.Hook != nil {
+		w = sl.opts.Hook.Wrap(CrashSegmentWrite, w)
+	}
+	sl.log = NewLogWithOptions(w, sl.opts.Log)
+}
+
+// countingWriter tracks bytes that actually reached the underlying
+// writer.
+type countingWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	k, err := c.w.Write(p)
+	*c.n += int64(k)
+	return k, err
+}
+
+// Dropped reports the open-time torn-tail diagnostic (nil when the
+// directory was clean).
+func (sl *SegmentedLog) Dropped() error { return sl.dropped }
+
+// Dir returns the segment directory.
+func (sl *SegmentedLog) Dir() string { return sl.dir }
+
+// Append journals one applied event, rotating segments per the options.
+// A torn write is healed in place — the file is truncated back to the
+// pre-append offset, so the (rolled-back) event leaves no bytes behind
+// and the next append lands on a clean line boundary.  The error is
+// still returned: the caller's rollback contract is unchanged.
+func (sl *SegmentedLog) Append(e Event) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+
+	if sl.f == nil {
+		if hook := sl.opts.Hook; hook != nil {
+			// The mid-rotation power-cut point: the previous segment is
+			// sealed, the next does not exist yet.
+			if err := hook.At(CrashSegmentRotate); err != nil {
+				return fmt.Errorf("platform: rotating segment: %w", err)
+			}
+		}
+		path := filepath.Join(sl.dir, segmentFileName(e.Seq))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("platform: creating segment: %w", err)
+		}
+		sl.attach(f, SegmentInfo{Path: path, FirstSeq: e.Seq})
+		sl.rounds = 0
+	}
+
+	before := sl.cur.Size
+	err := sl.log.Append(e)
+	if err != nil {
+		if sl.log.Poisoned() && sl.cur.Size > before {
+			sl.heal(before)
+		}
+		return err
+	}
+	if e.Kind == EventRoundClosed {
+		sl.rounds++
+	}
+	if (sl.opts.MaxBytes > 0 && sl.cur.Size >= sl.opts.MaxBytes) ||
+		(sl.opts.RotateRounds > 0 && sl.rounds >= sl.opts.RotateRounds) {
+		if err := sl.sealLocked(); err != nil {
+			// The event is durably appended; a seal failure only delays
+			// rotation, so surface nothing and retry at the next append.
+			return nil
+		}
+	}
+	return nil
+}
+
+// heal truncates the active segment back to offset after a torn append
+// and un-poisons the inner Log.  A crashed process cannot heal — the
+// hook's At(CrashSegmentHeal) models that — in which case the log stays
+// poisoned and the torn tail is left for open-time recovery to remove.
+func (sl *SegmentedLog) heal(offset int64) {
+	if hook := sl.opts.Hook; hook != nil {
+		if err := hook.At(CrashSegmentHeal); err != nil {
+			return
+		}
+	}
+	if err := sl.f.Truncate(offset); err != nil {
+		return
+	}
+	sl.cur.Size = offset
+	// Rebuild the log chain: same file, fresh (unpoisoned) Log.
+	sl.attach(sl.f, sl.cur)
+}
+
+// sealLocked syncs and closes the active segment, adding it to the
+// sealed list.  The next Append opens a fresh segment named after its
+// event.
+func (sl *SegmentedLog) sealLocked() error {
+	if sl.f == nil {
+		return nil
+	}
+	if err := sl.f.Sync(); err != nil {
+		return err
+	}
+	if err := sl.f.Close(); err != nil {
+		return err
+	}
+	sl.sealed = append(sl.sealed, sl.cur)
+	sl.f, sl.log = nil, nil
+	sl.cur = SegmentInfo{}
+	sl.rounds = 0
+	return nil
+}
+
+// Rotate seals the active segment now (checkpoint policy: the tail that
+// postdates a snapshot starts on a fresh segment).  A nil error with no
+// active segment is a no-op.
+func (sl *SegmentedLog) Rotate() error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.sealLocked()
+}
+
+// RetireThrough deletes sealed segments whose every event is ≤ seq —
+// i.e. fully covered by a snapshot at seq.  A segment's last event is
+// inferred from the next segment's first (events are contiguous), so the
+// newest sealed segment is only retired when an active segment exists to
+// bound it.  Returns how many segments were removed.
+func (sl *SegmentedLog) RetireThrough(seq uint64) (int, error) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	removed := 0
+	for len(sl.sealed) > 0 {
+		var nextFirst uint64
+		switch {
+		case len(sl.sealed) > 1:
+			nextFirst = sl.sealed[1].FirstSeq
+		case sl.f != nil:
+			nextFirst = sl.cur.FirstSeq
+		default:
+			nextFirst = 0
+		}
+		if nextFirst == 0 || nextFirst-1 > seq {
+			break
+		}
+		if err := os.Remove(sl.sealed[0].Path); err != nil {
+			return removed, err
+		}
+		removed++
+		sl.sealed = sl.sealed[1:]
+	}
+	if removed > 0 {
+		fsyncDir(sl.dir)
+	}
+	return removed, nil
+}
+
+// Segments returns the on-disk segments, sealed first then active,
+// ascending by first sequence number.
+func (sl *SegmentedLog) Segments() []SegmentInfo {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	out := append([]SegmentInfo(nil), sl.sealed...)
+	if sl.f != nil {
+		out = append(out, sl.cur)
+	}
+	return out
+}
+
+// Sync flushes the active segment to stable storage.
+func (sl *SegmentedLog) Sync() error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.f == nil {
+		return nil
+	}
+	return sl.f.Sync()
+}
+
+// Close syncs and closes the active segment.  The log remains usable —
+// a later Append simply opens a new segment — but Close is intended as
+// the shutdown call.
+func (sl *SegmentedLog) Close() error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.sealLocked()
+}
+
+// scanValidPrefix reads a segment file and returns the byte offset of
+// the end of its last fully-valid line, plus the torn-tail diagnostic
+// when that offset is short of the file size.
+func scanValidPrefix(path string) (int64, error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	_, valid, dropped := readLogPartialOffset(f)
+	return valid, dropped, nil
+}

@@ -1,0 +1,334 @@
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// appendJoins journals n worker_joined events through the state, the same
+// apply-then-journal path the service uses.
+func appendJoins(t *testing.T, s *State, jnl Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.ApplyJournaled(NewWorkerJoined(validWorker()), jnl.Append); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// readAllSegments replays every segment in dir in order and asserts the
+// events are sequence-contiguous starting at 1.
+func readAllSegments(t *testing.T, dir string) []Event {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Event
+	for _, sg := range segs {
+		f, err := os.Open(sg.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, _, dropped := readLogPartialOffset(f)
+		f.Close()
+		if dropped != nil {
+			t.Fatalf("segment %s not clean: %v", sg.Path, dropped)
+		}
+		if len(events) == 0 || events[0].Seq != sg.FirstSeq {
+			t.Fatalf("segment %s name says first seq %d, content starts at %v", sg.Path, sg.FirstSeq, events)
+		}
+		all = append(all, events...)
+	}
+	for i, e := range all {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d (segments not contiguous)", i, e.Seq, i+1)
+		}
+	}
+	return all
+}
+
+func TestSegmentedLogRotatesBySize(t *testing.T) {
+	dir := t.TempDir()
+	sl, err := OpenSegmentedLog(dir, SegmentOptions{MaxBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustState(t)
+	appendJoins(t, s, sl, 20)
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := sl.Segments()
+	if len(segs) < 3 {
+		t.Fatalf("20 events with MaxBytes=600 produced only %d segments", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].FirstSeq <= segs[i-1].FirstSeq {
+			t.Fatalf("segments out of order: %+v", segs)
+		}
+	}
+	if got := readAllSegments(t, dir); len(got) != 20 {
+		t.Fatalf("replayed %d events, want 20", len(got))
+	}
+	st, _, err := RecoverDir(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stateBytes(t, st), stateBytes(t, s)) {
+		t.Fatal("recovered state differs from the journaling state")
+	}
+}
+
+func TestSegmentedLogRotatesByRounds(t *testing.T) {
+	dir := t.TempDir()
+	sl, err := OpenSegmentedLog(dir, SegmentOptions{MaxBytes: -1, RotateRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustState(t)
+	for r := 1; r <= 6; r++ {
+		appendJoins(t, s, sl, 2)
+		if _, err := s.ApplyJournaled(NewRoundClosed(r), sl.Append); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 rounds at 2 rounds per segment → 3 sealed segments, no active one.
+	segs := sl.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("6 rounds with RotateRounds=2 produced %d segments, want 3", len(segs))
+	}
+	readAllSegments(t, dir)
+}
+
+func TestSegmentedLogReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	opts := SegmentOptions{MaxBytes: 800}
+	sl, err := OpenSegmentedLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustState(t)
+	appendJoins(t, s, sl, 7)
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sl2, err := OpenSegmentedLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl2.Dropped() != nil {
+		t.Fatalf("clean directory reported a torn tail: %v", sl2.Dropped())
+	}
+	appendJoins(t, s, sl2, 7)
+	if err := sl2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAllSegments(t, dir); len(got) != 14 {
+		t.Fatalf("replayed %d events, want 14", len(got))
+	}
+}
+
+func TestSegmentedLogHealsTornTailOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	opts := SegmentOptions{MaxBytes: 1 << 20}
+	sl, err := OpenSegmentedLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustState(t)
+	appendJoins(t, s, sl, 5)
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: garbage without a newline at the tail.
+	segs, _ := listSegments(dir)
+	last := segs[len(segs)-1].Path
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":6,"kind":"worker_joi`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sl2, err := OpenSegmentedLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl2.Dropped() == nil {
+		t.Fatal("torn tail not reported")
+	}
+	// The torn bytes must be gone BEFORE new appends land.
+	appendJoins(t, s, sl2, 3)
+	if err := sl2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAllSegments(t, dir); len(got) != 8 {
+		t.Fatalf("replayed %d events, want 8 (5 + 3 after heal)", len(got))
+	}
+}
+
+// flakyHook tears one scheduled write in half — a transient I/O fault the
+// process survives, unlike faultinject.Crasher's power cut.
+type flakyHook struct {
+	point string
+	hit   int
+	seen  int
+}
+
+func (h *flakyHook) At(string) error { return nil }
+func (h *flakyHook) Wrap(point string, w io.Writer) io.Writer {
+	if point != h.point {
+		return w
+	}
+	return &flakyTornWriter{h: h, w: w}
+}
+
+type flakyTornWriter struct {
+	h *flakyHook
+	w io.Writer
+}
+
+func (fw *flakyTornWriter) Write(p []byte) (int, error) {
+	n := fw.h.seen
+	fw.h.seen++
+	if n != fw.h.hit {
+		return fw.w.Write(p)
+	}
+	k, _ := fw.w.Write(p[:len(p)/2])
+	return k, errors.New("flaky: torn write")
+}
+
+func TestSegmentedLogTornAppendHealsInPlace(t *testing.T) {
+	dir := t.TempDir()
+	sl, err := OpenSegmentedLog(dir, SegmentOptions{
+		MaxBytes: 1 << 20,
+		Hook:     &flakyHook{point: CrashSegmentWrite, hit: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustState(t)
+	appendJoins(t, s, sl, 3)
+
+	// The 4th append tears mid-line; ApplyJournaled must roll it back.
+	if _, err := s.ApplyJournaled(NewWorkerJoined(validWorker()), sl.Append); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	if s.Seq() != 3 {
+		t.Fatalf("state seq %d after rollback, want 3", s.Seq())
+	}
+
+	// Truncate-then-append: the next event reuses the rolled-back seq and
+	// lands on a clean line boundary — no garbage in between.
+	appendJoins(t, s, sl, 2)
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAllSegments(t, dir); len(got) != 5 {
+		t.Fatalf("replayed %d events, want 5", len(got))
+	}
+}
+
+func TestSegmentedLogRetireThrough(t *testing.T) {
+	dir := t.TempDir()
+	sl, err := OpenSegmentedLog(dir, SegmentOptions{MaxBytes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustState(t)
+	appendJoins(t, s, sl, 10)
+	snapAt := s.Seq()
+	if _, _, err := WriteSnapshot(dir, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	appendJoins(t, s, sl, 10)
+
+	removed, err := sl.RetireThrough(snapAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing retired despite a snapshot covering several segments")
+	}
+	// Only provably-covered segments may go: every survivor's events must
+	// still recover the full state on top of the snapshot.
+	for _, sg := range sl.Segments() {
+		if _, err := os.Stat(sg.Path); err != nil {
+			t.Fatalf("listed segment missing on disk: %v", err)
+		}
+	}
+	st, info, err := RecoverDir(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stateBytes(t, st), stateBytes(t, s)) {
+		t.Fatal("recovery after retirement lost events")
+	}
+	if info.Snapshot.Seq != snapAt {
+		t.Fatalf("recovery used snapshot at seq %d, want %d", info.Snapshot.Seq, snapAt)
+	}
+}
+
+// TestOpenJournalTornTailTwiceRestart is the single-file regression test:
+// crash mid-write, restart, append, crash mid-write again, restart — no
+// committed event may be lost at any point (the reopen must truncate the
+// torn tail BEFORE appending, or the second recovery drops live events).
+func TestOpenJournalTornTailTwiceRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	tear := func() {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(`{"seq":99,"kind":"wor`); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	total := 0
+	for restart := 0; restart < 2; restart++ {
+		jf, err := OpenJournal(path, 3, LogOptions{})
+		if err != nil {
+			t.Fatalf("restart %d: %v", restart, err)
+		}
+		if restart > 0 {
+			if jf.Dropped == nil || jf.Truncated == 0 {
+				t.Fatalf("restart %d: torn tail not detected/truncated (dropped=%v truncated=%d)",
+					restart, jf.Dropped, jf.Truncated)
+			}
+		}
+		if got, _ := jf.State.Counts(); got != total {
+			t.Fatalf("restart %d: recovered %d workers, want %d — committed events lost", restart, got, total)
+		}
+		appendJoins(t, jf.State, jf.Log, 4)
+		total += 4
+		if err := jf.File.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tear()
+	}
+
+	// Final restart: everything ever committed is still there.
+	jf, err := OpenJournal(path, 3, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.File.Close()
+	if got, _ := jf.State.Counts(); got != total {
+		t.Fatalf("final recovery has %d workers, want %d", got, total)
+	}
+	if jf.State.Seq() != uint64(total) {
+		t.Fatalf("final seq %d, want %d", jf.State.Seq(), total)
+	}
+}

@@ -81,6 +81,7 @@ func NewServerWithOptions(svc *Service, opts ServerOptions) *Server {
 	s.mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleRemoveTask)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/rounds", s.handleCloseRound)
+	s.mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpoint)
 	return s
 }
 
@@ -190,6 +191,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"tasks":   tasks,
 		"rounds":  s.svc.State().Rounds(),
 	})
+}
+
+// handleCheckpoint triggers an immediate snapshot + journal compaction.
+// 404 when the service has no checkpoint manager attached (serving
+// without -snapshot-dir).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	cm := s.svc.Checkpointer()
+	if cm == nil {
+		writeError(w, http.StatusNotFound, errors.New("checkpointing not configured"))
+		return
+	}
+	res, err := cm.Checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleCloseRound(w http.ResponseWriter, r *http.Request) {

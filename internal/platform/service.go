@@ -43,6 +43,12 @@ type RoundResult struct {
 	// stage exhausted, or a panicking solver).  The round still closed —
 	// its marker is journaled — but assigned nothing.
 	SolveError string `json:"solve_error,omitempty"`
+	// Checkpointed reports that this round's close triggered a successful
+	// checkpoint (snapshot + journal compaction); CheckpointError records
+	// a failed attempt.  Checkpointing is an optimization of recovery
+	// time, so its failure never fails the round.
+	Checkpointed    bool   `json:"checkpointed,omitempty"`
+	CheckpointError string `json:"checkpoint_error,omitempty"`
 }
 
 // Service runs assignment rounds over a live State with a fixed solver and
@@ -66,19 +72,21 @@ type RoundResult struct {
 // enforces on recovery — and a journal failure rolls the state mutation
 // back, so memory and disk can never silently drift apart.
 type Service struct {
-	mu     sync.Mutex
-	state  *State
-	log    *Log // optional journal; nil disables
-	solver core.Solver
-	params benefit.Params
-	rng    *stats.RNG
+	mu         sync.Mutex
+	state      *State
+	journal    Journal // optional journal; nil disables
+	solver     core.Solver
+	params     benefit.Params
+	rng        *stats.RNG
+	checkpoint *CheckpointManager // optional; set via SetCheckpointer
 
 	roundMu sync.Mutex    // serialises CloseRound; guards prev
 	prev    *core.Problem // previous round's problem, reused as the next round's arena
 }
 
-// NewService wires a service.  log may be nil (no journaling).
-func NewService(state *State, solver core.Solver, params benefit.Params, log *Log, seed uint64) (*Service, error) {
+// NewService wires a service.  journal may be nil (no journaling); both
+// *Log and *SegmentedLog satisfy it.
+func NewService(state *State, solver core.Solver, params benefit.Params, journal Journal, seed uint64) (*Service, error) {
 	if state == nil {
 		return nil, fmt.Errorf("platform: nil state")
 	}
@@ -88,13 +96,42 @@ func NewService(state *State, solver core.Solver, params benefit.Params, log *Lo
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
+	// Guard against typed-nil journals: callers historically pass a
+	// possibly-nil *Log variable, which would otherwise arrive as a
+	// non-nil interface wrapping nothing.
+	switch j := journal.(type) {
+	case *Log:
+		if j == nil {
+			journal = nil
+		}
+	case *SegmentedLog:
+		if j == nil {
+			journal = nil
+		}
+	}
 	return &Service{
-		state:  state,
-		log:    log,
-		solver: solver,
-		params: params,
-		rng:    stats.NewRNG(seed),
+		state:   state,
+		journal: journal,
+		solver:  solver,
+		params:  params,
+		rng:     stats.NewRNG(seed),
 	}, nil
+}
+
+// SetCheckpointer attaches a checkpoint manager: every committed round
+// then notifies it (snapshot-on-round policy), and the HTTP API exposes
+// GET /v1/checkpoint.  Call before serving.
+func (s *Service) SetCheckpointer(cm *CheckpointManager) {
+	s.mu.Lock()
+	s.checkpoint = cm
+	s.mu.Unlock()
+}
+
+// Checkpointer returns the attached checkpoint manager, if any.
+func (s *Service) Checkpointer() *CheckpointManager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpoint
 }
 
 // State exposes the underlying state (read-mostly use).
@@ -107,10 +144,10 @@ func (s *Service) State() *State { return s.state }
 // the journal out of order — and if the append fails, the apply is rolled
 // back, so a Submit error means the event happened nowhere.
 func (s *Service) Submit(e Event) (Event, error) {
-	if s.log == nil {
+	if s.journal == nil {
 		return s.state.Apply(e)
 	}
-	return s.state.ApplyJournaled(e, s.log.Append)
+	return s.state.ApplyJournaled(e, s.journal.Append)
 }
 
 // CloseRound assigns all open tasks to the live workforce, journals the
@@ -174,6 +211,16 @@ func (s *Service) CloseRoundCtx(ctx context.Context) (*RoundResult, error) {
 	}
 	res.Seq = marker.Seq
 	res.Round = s.state.Rounds()
+	if cm := s.Checkpointer(); cm != nil {
+		// The round is committed; checkpointing is recovery-time
+		// optimization and must never undo that, so its errors are
+		// reported on the result instead of failing the close.
+		took, err := cm.RoundClosed()
+		res.Checkpointed = took
+		if err != nil {
+			res.CheckpointError = err.Error()
+		}
+	}
 	return &res, nil
 }
 

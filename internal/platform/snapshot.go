@@ -1,0 +1,470 @@
+package platform
+
+// Crash-safe State snapshots.  A snapshot is the compaction primitive of
+// the platform's durability story: instead of replaying a journal from
+// genesis, recovery loads the newest valid snapshot and replays only the
+// journal tail written after it (see CheckpointManager / RecoverDir).
+//
+// Format (all integers little-endian):
+//
+//	magic   "MBASNAP\x01" (8 bytes)
+//	frames  kind(1) | len(uint32) | payload | crc32c(uint32)
+//
+// The CRC covers kind+len+payload, so a flipped length byte is as
+// detectable as a flipped payload byte.  Frame kinds:
+//
+//	'H'  header, exactly one, first: JSON snapshotHeader — the snapshot is
+//	     self-identifying (numCategories, seq, round, entity counts)
+//	'W'  one live worker (market.Worker JSON, ID = platform ID)
+//	'T'  one open task (market.Task JSON, ID = platform ID)
+//	'E'  end marker, exactly one, last, empty payload
+//
+// A snapshot missing its end frame is a torn write and fails to decode;
+// any byte flipped anywhere fails a CRC; trailing bytes after the end
+// frame are corruption too.  Writers never modify a snapshot in place:
+// WriteSnapshot goes write-to-temp → fsync → rename, so a crash at any
+// point leaves either no snapshot or a complete valid one (plus an
+// ignorable *.tmp orphan).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/market"
+)
+
+const (
+	snapshotMagic   = "MBASNAP\x01"
+	snapshotVersion = 1
+	// maxSnapshotFrame bounds a single frame's payload so a corrupt length
+	// field cannot make the decoder allocate gigabytes.
+	maxSnapshotFrame = 1 << 24
+)
+
+// ErrSnapshotCorrupt wraps every decode failure caused by the bytes (as
+// opposed to I/O errors), so recovery can tell "this snapshot is damaged,
+// fall back to an older one" from "the disk is gone".
+var ErrSnapshotCorrupt = errors.New("platform: snapshot corrupt")
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// snapshotHeader is the self-identifying 'H' frame payload.
+type snapshotHeader struct {
+	Version       int    `json:"version"`
+	NumCategories int    `json:"num_categories"`
+	Seq           uint64 `json:"seq"`
+	Rounds        int    `json:"rounds"`
+	NextWorkerID  int    `json:"next_worker_id"`
+	NextTaskID    int    `json:"next_task_id"`
+	Workers       int    `json:"workers"`
+	Tasks         int    `json:"tasks"`
+}
+
+// SnapshotInfo describes a snapshot to callers (API responses, recovery
+// diagnostics, tests).
+type SnapshotInfo struct {
+	Seq           uint64 `json:"seq"`
+	Rounds        int    `json:"rounds"`
+	NumCategories int    `json:"num_categories"`
+	Workers       int    `json:"workers"`
+	Tasks         int    `json:"tasks"`
+}
+
+// Seq returns the sequence number of the last applied event — the
+// snapshot/journal coordinate of the state.
+func (s *State) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextSeq
+}
+
+// writeFrame emits one kind|len|payload|crc frame.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.Update(0, snapshotCRC, hdr[:])
+	crc = crc32.Update(crc, snapshotCRC, payload)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// EncodeSnapshot writes s as a snapshot stream.  Encoding is deterministic
+// — entities are emitted in platform-ID order — so two byte-identical
+// states produce byte-identical snapshots (the crash-fidelity tests lean
+// on this to compare whole states).
+func (s *State) EncodeSnapshot(w io.Writer) (SnapshotInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	hdr := snapshotHeader{
+		Version:       snapshotVersion,
+		NumCategories: s.numCategories,
+		Seq:           s.nextSeq,
+		Rounds:        s.rounds,
+		NextWorkerID:  s.nextWorkerID,
+		NextTaskID:    s.nextTaskID,
+		Workers:       len(s.workers),
+		Tasks:         len(s.tasks),
+	}
+	info := SnapshotInfo{
+		Seq: hdr.Seq, Rounds: hdr.Rounds, NumCategories: hdr.NumCategories,
+		Workers: hdr.Workers, Tasks: hdr.Tasks,
+	}
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return info, err
+	}
+	payload, err := json.Marshal(hdr)
+	if err != nil {
+		return info, err
+	}
+	if err := writeFrame(w, 'H', payload); err != nil {
+		return info, err
+	}
+	workerIDs := make([]int, 0, len(s.workers))
+	for id := range s.workers {
+		workerIDs = append(workerIDs, id)
+	}
+	sort.Ints(workerIDs)
+	for _, id := range workerIDs {
+		wk := s.workers[id]
+		payload, err := json.Marshal(&wk)
+		if err != nil {
+			return info, err
+		}
+		if err := writeFrame(w, 'W', payload); err != nil {
+			return info, err
+		}
+	}
+	taskIDs := make([]int, 0, len(s.tasks))
+	for id := range s.tasks {
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Ints(taskIDs)
+	for _, id := range taskIDs {
+		tk := s.tasks[id]
+		payload, err := json.Marshal(&tk)
+		if err != nil {
+			return info, err
+		}
+		if err := writeFrame(w, 'T', payload); err != nil {
+			return info, err
+		}
+	}
+	return info, writeFrame(w, 'E', nil)
+}
+
+// corrupt tags a decode failure as data corruption.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+}
+
+// readFrame reads one frame, verifying the CRC.  io.EOF at a frame
+// boundary is returned as-is; anything else mid-frame is corruption.
+func readFrame(r *bufio.Reader) (kind byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, corrupt("truncated frame header")
+	}
+	kind = hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxSnapshotFrame {
+		return 0, nil, corrupt("frame length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, corrupt("truncated frame payload")
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, nil, corrupt("truncated frame checksum")
+	}
+	crc := crc32.Update(0, snapshotCRC, hdr[:])
+	crc = crc32.Update(crc, snapshotCRC, payload)
+	if crc != binary.LittleEndian.Uint32(tail[:]) {
+		return 0, nil, corrupt("frame checksum mismatch (kind %q)", kind)
+	}
+	return kind, payload, nil
+}
+
+// DecodeSnapshot parses a snapshot stream into a State.  Every defect —
+// bad magic, flipped bytes, truncation, duplicate entities, counts that
+// disagree with the header, bytes after the end frame — yields an error
+// wrapping ErrSnapshotCorrupt; valid input round-trips exactly.
+func DecodeSnapshot(r io.Reader) (*State, SnapshotInfo, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var info SnapshotInfo
+
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapshotMagic {
+		return nil, info, corrupt("bad magic")
+	}
+	kind, payload, err := readFrame(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, info, corrupt("missing header frame")
+		}
+		return nil, info, err
+	}
+	if kind != 'H' {
+		return nil, info, corrupt("first frame kind %q, want header", kind)
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(payload, &hdr); err != nil {
+		return nil, info, corrupt("header: %v", err)
+	}
+	if hdr.Version != snapshotVersion {
+		return nil, info, corrupt("unsupported snapshot version %d", hdr.Version)
+	}
+	if hdr.NumCategories <= 0 || hdr.Workers < 0 || hdr.Tasks < 0 ||
+		hdr.Rounds < 0 || hdr.NextWorkerID < 0 || hdr.NextTaskID < 0 {
+		return nil, info, corrupt("header fields out of range")
+	}
+	info = SnapshotInfo{
+		Seq: hdr.Seq, Rounds: hdr.Rounds, NumCategories: hdr.NumCategories,
+		Workers: hdr.Workers, Tasks: hdr.Tasks,
+	}
+
+	s := &State{
+		numCategories: hdr.NumCategories,
+		nextSeq:       hdr.Seq,
+		nextWorkerID:  hdr.NextWorkerID,
+		nextTaskID:    hdr.NextTaskID,
+		rounds:        hdr.Rounds,
+		workers:       make(map[int]market.Worker, hdr.Workers),
+		tasks:         make(map[int]market.Task, hdr.Tasks),
+	}
+	done := false
+	for !done {
+		kind, payload, err := readFrame(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil, info, corrupt("missing end frame")
+			}
+			return nil, info, err
+		}
+		switch kind {
+		case 'W':
+			var w market.Worker
+			if err := json.Unmarshal(payload, &w); err != nil {
+				return nil, info, corrupt("worker frame: %v", err)
+			}
+			if err := validateWorkerProfile(&w, hdr.NumCategories); err != nil {
+				return nil, info, corrupt("worker frame: %v", err)
+			}
+			if w.ID < 0 || w.ID >= hdr.NextWorkerID {
+				return nil, info, corrupt("worker id %d outside [0,%d)", w.ID, hdr.NextWorkerID)
+			}
+			if _, dup := s.workers[w.ID]; dup {
+				return nil, info, corrupt("duplicate worker %d", w.ID)
+			}
+			s.workers[w.ID] = w
+		case 'T':
+			var tk market.Task
+			if err := json.Unmarshal(payload, &tk); err != nil {
+				return nil, info, corrupt("task frame: %v", err)
+			}
+			if err := validateTaskShape(&tk, hdr.NumCategories); err != nil {
+				return nil, info, corrupt("task frame: %v", err)
+			}
+			if tk.ID < 0 || tk.ID >= hdr.NextTaskID {
+				return nil, info, corrupt("task id %d outside [0,%d)", tk.ID, hdr.NextTaskID)
+			}
+			if _, dup := s.tasks[tk.ID]; dup {
+				return nil, info, corrupt("duplicate task %d", tk.ID)
+			}
+			s.tasks[tk.ID] = tk
+		case 'E':
+			if len(payload) != 0 {
+				return nil, info, corrupt("end frame with payload")
+			}
+			done = true
+		default:
+			return nil, info, corrupt("unknown frame kind %q", kind)
+		}
+	}
+	if len(s.workers) != hdr.Workers || len(s.tasks) != hdr.Tasks {
+		return nil, info, corrupt("entity counts (%d,%d) disagree with header (%d,%d)",
+			len(s.workers), len(s.tasks), hdr.Workers, hdr.Tasks)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, info, corrupt("trailing bytes after end frame")
+	}
+	return s, info, nil
+}
+
+// CrashHook is the platform's seam for simulated power cuts
+// (faultinject.Crasher implements it).  The checkpoint and segment
+// writers call At at named barriers and route file writes through Wrap;
+// a non-nil At error (or an error from a wrapped write) means "the
+// machine died here": the operation aborts immediately and leaves its
+// on-disk artifacts exactly as a real crash would — half-written temp
+// files, un-renamed snapshots, torn segment tails.  Production paths pass
+// a nil hook.
+type CrashHook interface {
+	// At fires at the named barrier; a non-nil error aborts the operation.
+	At(point string) error
+	// Wrap intercepts the writes of the named stream (torn-write
+	// injection); implementations return w unchanged when uninterested.
+	Wrap(point string, w io.Writer) io.Writer
+}
+
+// Crash points used by the snapshot and segment writers.  Exported so the
+// fault-injection suite and the writers agree on names by construction.
+const (
+	CrashSnapshotBody   = "snapshot.body"   // torn temp-file body write
+	CrashSnapshotSync   = "snapshot.sync"   // cut before the temp fsync
+	CrashSnapshotRename = "snapshot.rename" // cut before the atomic rename
+	CrashSegmentWrite   = "segment.write"   // torn segment append
+	CrashSegmentRotate  = "segment.rotate"  // cut mid-rotation, before the new segment exists
+	CrashSegmentHeal    = "segment.heal"    // cut before a torn tail is truncated away
+)
+
+// snapshotFileName formats the canonical snapshot name for a sequence
+// number; zero-padding keeps lexical order equal to numeric order.
+func snapshotFileName(seq uint64) string {
+	return fmt.Sprintf("snapshot.%020d.mba", seq)
+}
+
+// parseSnapshotSeq inverts snapshotFileName; ok is false for foreign
+// files.
+func parseSnapshotSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snapshot.") || !strings.HasSuffix(name, ".mba") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot."), ".mba")
+	var seq uint64
+	if _, err := fmt.Sscanf(mid, "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// fsyncDir flushes a directory's entry table so a just-renamed file
+// survives a power cut.  Best-effort: some filesystems refuse directory
+// syncs, and the rename itself is already atomic.
+func fsyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// WriteSnapshot atomically persists s into dir and returns the final
+// path.  The sequence is write-to-temp → fsync → rename → dir-fsync: a
+// crash before the rename leaves only a *.tmp orphan (cleaned by the
+// next successful checkpoint), a crash after it leaves a complete valid
+// snapshot — there is no window in which a partial file carries the
+// canonical name.
+func WriteSnapshot(dir string, s *State, hook CrashHook) (string, SnapshotInfo, error) {
+	var info SnapshotInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", info, err
+	}
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return "", info, err
+	}
+	// The temp file is deliberately left behind on failure: a real crash
+	// could not unlink it either, and recovery must cope with orphans.
+	var w io.Writer = tmp
+	if hook != nil {
+		w = hook.Wrap(CrashSnapshotBody, tmp)
+	}
+	bw := bufio.NewWriterSize(w, 256*1024)
+	info, err = s.EncodeSnapshot(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		tmp.Close()
+		return "", info, fmt.Errorf("platform: writing snapshot: %w", err)
+	}
+	if hook != nil {
+		if err := hook.At(CrashSnapshotSync); err != nil {
+			tmp.Close()
+			return "", info, fmt.Errorf("platform: writing snapshot: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", info, fmt.Errorf("platform: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", info, fmt.Errorf("platform: closing snapshot: %w", err)
+	}
+	if hook != nil {
+		if err := hook.At(CrashSnapshotRename); err != nil {
+			return "", info, fmt.Errorf("platform: publishing snapshot: %w", err)
+		}
+	}
+	final := filepath.Join(dir, snapshotFileName(info.Seq))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", info, fmt.Errorf("platform: publishing snapshot: %w", err)
+	}
+	fsyncDir(dir)
+	return final, info, nil
+}
+
+// ReadSnapshotFile decodes one snapshot file.
+func ReadSnapshotFile(path string) (*State, SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	defer f.Close()
+	return DecodeSnapshot(f)
+}
+
+// listSnapshots returns the snapshot files in dir, newest (highest seq)
+// first.
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	type snap struct {
+		name string
+		seq  uint64
+	}
+	var snaps []snap
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSnapshotSeq(e.Name()); ok {
+			snaps = append(snaps, snap{e.Name(), seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	names := make([]string, len(snaps))
+	for i, sn := range snaps {
+		names[i] = filepath.Join(dir, sn.name)
+	}
+	return names, nil
+}
