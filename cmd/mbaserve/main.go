@@ -21,7 +21,7 @@
 //	GET    /v1/stats        live counts
 //	POST   /v1/rounds       close an assignment round (?drain=true to close
 //	                        assigned tasks afterwards)
-//	GET    /v1/checkpoint   take a checkpoint now (snapshot mode only)
+//	POST   /v1/checkpoint   take a checkpoint now (snapshot mode only)
 package main
 
 import (
@@ -92,7 +92,7 @@ func main() {
 		fallbackChain = flag.String("fallback-chain", "", "comma-separated degradation chain, best first (e.g. exact,local-search,greedy); empty with -round-deadline implies '<solver>,greedy'")
 		fsyncMode     = flag.String("fsync", "never", "journal durability: never (OS page cache) or always (fsync per event)")
 		snapshotDir   = flag.String("snapshot-dir", "", "checkpoint directory: segmented journal + atomic snapshots (mutually exclusive with -journal)")
-		snapshotEvery = flag.Int("snapshot-every", 50, "take a checkpoint every N closed rounds (0 = only via GET /v1/checkpoint)")
+		snapshotEvery = flag.Int("snapshot-every", 50, "take a checkpoint every N closed rounds (0 = only via POST /v1/checkpoint)")
 		snapshotKeep  = flag.Int("snapshot-keep", 2, "snapshot generations to retain as the corrupt-snapshot fallback chain")
 		segmentBytes  = flag.Int64("segment-bytes", platform.DefaultSegmentBytes, "seal a journal segment once it reaches this many bytes")
 	)

@@ -36,7 +36,7 @@ type CheckpointOptions struct {
 	// directory.
 	Dir string
 	// EveryRounds takes a checkpoint after this many closed rounds;
-	// 0 means manual checkpoints only (Checkpoint / GET /v1/checkpoint).
+	// 0 means manual checkpoints only (Checkpoint / POST /v1/checkpoint).
 	EveryRounds int
 	// Keep is how many snapshot generations to retain (default 2).  Older
 	// generations are the fallback chain when the newest snapshot fails

@@ -264,13 +264,23 @@ func TestCheckpointHTTPEndpoint(t *testing.T) {
 	}
 	srv := httptest.NewServer(NewServer(svc))
 	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/v1/checkpoint")
+	resp, err := http.Post(srv.URL+"/v1/checkpoint", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("GET /v1/checkpoint without a manager: %d, want 404", resp.StatusCode)
+		t.Fatalf("POST /v1/checkpoint without a manager: %d, want 404", resp.StatusCode)
+	}
+
+	// GET must not trigger compaction: the route is POST-only.
+	respGet, err := http.Get(srv.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respGet.Body.Close()
+	if respGet.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/checkpoint: %d, want 405", respGet.StatusCode)
 	}
 
 	// With one: 200 and a snapshot on disk.
@@ -281,13 +291,13 @@ func TestCheckpointHTTPEndpoint(t *testing.T) {
 	}
 	srv2 := httptest.NewServer(NewServer(svc2))
 	defer srv2.Close()
-	resp2, err := http.Get(srv2.URL + "/v1/checkpoint")
+	resp2, err := http.Post(srv2.URL+"/v1/checkpoint", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
-		t.Fatalf("GET /v1/checkpoint: %d, want 200", resp2.StatusCode)
+		t.Fatalf("POST /v1/checkpoint: %d, want 200", resp2.StatusCode)
 	}
 	var res CheckpointResult
 	if err := json.NewDecoder(resp2.Body).Decode(&res); err != nil {

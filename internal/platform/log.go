@@ -46,6 +46,11 @@ type LogOptions struct {
 	// RetryBackoff is the sleep before the first retry, doubling per
 	// attempt; 0 means 1ms.
 	RetryBackoff time.Duration
+	// Syncer is the fsync target for FsyncAlways when the write path hides
+	// the underlying file behind wrappers (byte counters, fault injectors)
+	// that don't forward Sync.  Nil falls back to asserting Sync on the
+	// writer itself.
+	Syncer interface{ Sync() error }
 }
 
 // ErrLogPoisoned marks a journal that failed partway through a line.  All
@@ -108,7 +113,11 @@ func (l *Log) Append(e Event) error {
 		return err
 	}
 	if l.opts.Fsync == FsyncAlways {
-		if s, ok := l.w.(syncer); ok {
+		s := l.opts.Syncer
+		if s == nil {
+			s, _ = l.w.(syncer)
+		}
+		if s != nil {
 			if err := s.Sync(); err != nil {
 				// The line may or may not have reached the platter; assume
 				// the worst so recovery semantics stay conservative.

@@ -82,12 +82,7 @@ func parseSegmentSeq(name string) (uint64, bool) {
 	if !strings.HasPrefix(name, "journal.") || !strings.HasSuffix(name, ".jsonl") {
 		return 0, false
 	}
-	mid := strings.TrimSuffix(strings.TrimPrefix(name, "journal."), ".jsonl")
-	var seq uint64
-	if _, err := fmt.Sscanf(mid, "%d", &seq); err != nil {
-		return 0, false
-	}
-	return seq, true
+	return parseSeqToken(strings.TrimSuffix(strings.TrimPrefix(name, "journal."), ".jsonl"))
 }
 
 // listSegments returns dir's journal segments ascending by first
@@ -173,7 +168,9 @@ func OpenSegmentedLog(dir string, opts SegmentOptions) (*SegmentedLog, error) {
 
 // attach installs f as the active segment and builds its Log chain:
 // Log → crash-hook wrapper → byte counter → file, so the counter sees
-// exactly the bytes that reached the file (torn halves included).
+// exactly the bytes that reached the file (torn halves included).  The
+// file itself is plumbed as the Log's fsync target: the wrappers don't
+// forward Sync, and FsyncAlways must reach the file, not a counter.
 func (sl *SegmentedLog) attach(f *os.File, info SegmentInfo) {
 	sl.f = f
 	sl.cur = info
@@ -181,7 +178,9 @@ func (sl *SegmentedLog) attach(f *os.File, info SegmentInfo) {
 	if sl.opts.Hook != nil {
 		w = sl.opts.Hook.Wrap(CrashSegmentWrite, w)
 	}
-	sl.log = NewLogWithOptions(w, sl.opts.Log)
+	logOpts := sl.opts.Log
+	logOpts.Syncer = f
+	sl.log = NewLogWithOptions(w, logOpts)
 }
 
 // countingWriter tracks bytes that actually reached the underlying
@@ -244,8 +243,9 @@ func (sl *SegmentedLog) Append(e Event) error {
 	if (sl.opts.MaxBytes > 0 && sl.cur.Size >= sl.opts.MaxBytes) ||
 		(sl.opts.RotateRounds > 0 && sl.rounds >= sl.opts.RotateRounds) {
 		if err := sl.sealLocked(); err != nil {
-			// The event is durably appended; a seal failure only delays
-			// rotation, so surface nothing and retry at the next append.
+			// The event is durably appended; a Sync failure delays rotation
+			// (retried at the next append) and a Close failure has already
+			// detached the synced segment, so surface nothing either way.
 			return nil
 		}
 	}
@@ -280,14 +280,16 @@ func (sl *SegmentedLog) sealLocked() error {
 	if err := sl.f.Sync(); err != nil {
 		return err
 	}
-	if err := sl.f.Close(); err != nil {
-		return err
-	}
+	// The data is durable once Sync succeeds, so even a failed Close
+	// detaches the file: keeping a dead fd attached would poison every
+	// later Append (and heal's Truncate on it) until restart, whereas
+	// detaching just makes the next Append open a fresh segment.
+	err := sl.f.Close()
 	sl.sealed = append(sl.sealed, sl.cur)
 	sl.f, sl.log = nil, nil
 	sl.cur = SegmentInfo{}
 	sl.rounds = 0
-	return nil
+	return err
 }
 
 // Rotate seals the active segment now (checkpoint policy: the tail that

@@ -81,7 +81,10 @@ func NewServerWithOptions(svc *Service, opts ServerOptions) *Server {
 	s.mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleRemoveTask)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/rounds", s.handleCloseRound)
-	s.mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpoint)
+	// POST, not GET: a checkpoint writes a snapshot and deletes journal
+	// segments — side effects a crawler or monitoring probe must not be
+	// able to trigger.
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	return s
 }
 

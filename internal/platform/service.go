@@ -120,7 +120,7 @@ func NewService(state *State, solver core.Solver, params benefit.Params, journal
 
 // SetCheckpointer attaches a checkpoint manager: every committed round
 // then notifies it (snapshot-on-round policy), and the HTTP API exposes
-// GET /v1/checkpoint.  Call before serving.
+// POST /v1/checkpoint.  Call before serving.
 func (s *Service) SetCheckpointer(cm *CheckpointManager) {
 	s.mu.Lock()
 	s.checkpoint = cm

@@ -37,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/market"
@@ -352,12 +353,22 @@ func parseSnapshotSeq(name string) (uint64, bool) {
 	if !strings.HasPrefix(name, "snapshot.") || !strings.HasSuffix(name, ".mba") {
 		return 0, false
 	}
-	mid := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot."), ".mba")
-	var seq uint64
-	if _, err := fmt.Sscanf(mid, "%d", &seq); err != nil {
+	return parseSeqToken(strings.TrimSuffix(strings.TrimPrefix(name, "snapshot."), ".mba"))
+}
+
+// seqTokenWidth is the zero-padded width both file-name writers emit.
+const seqTokenWidth = 20
+
+// parseSeqToken parses the sequence token of a snapshot or segment file
+// name.  Strict by design: the token must be exactly the digits the
+// writers emit — "5junk" or an un-padded "5" is a foreign file, not ours
+// to prune or to collide with a real sequence number.
+func parseSeqToken(mid string) (uint64, bool) {
+	if len(mid) != seqTokenWidth {
 		return 0, false
 	}
-	return seq, true
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	return seq, err == nil
 }
 
 // fsyncDir flushes a directory's entry table so a just-renamed file

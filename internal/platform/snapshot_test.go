@@ -223,8 +223,26 @@ func TestParseSnapshotSeq(t *testing.T) {
 	if !ok || seq != 42 {
 		t.Fatalf("parse(%s) = %d, %v", snapshotFileName(42), seq, ok)
 	}
-	for _, name := range []string{"snapshot.mba", "journal.00001.jsonl", "snapshot.x.mba", "foo"} {
+	for _, name := range []string{
+		"snapshot.mba", "journal.00001.jsonl", "snapshot.x.mba", "foo",
+		"snapshot.5junk.mba",                     // trailing garbage after the digits
+		"snapshot.5.mba",                         // un-padded: not a name our writer emits
+		"snapshot.0000000000000000000x.mba",      // non-digit at canonical width
+		"snapshot.+0000000000000000005.mba",      // sign at canonical width
+		"snapshot.99999999999999999999.mba",      // canonical width but overflows uint64
+		"snapshot.000000000000000000005junk.mba", // garbage pushing past canonical width
+	} {
 		if _, ok := parseSnapshotSeq(name); ok {
+			t.Fatalf("parse(%q) accepted a foreign file", name)
+		}
+	}
+	// Same strictness for segment names: a foreign "journal.5junk.jsonl"
+	// must never parse (and so never be pruned or replayed).
+	if seq, ok := parseSegmentSeq(segmentFileName(42)); !ok || seq != 42 {
+		t.Fatalf("parse(%s) = %d, %v", segmentFileName(42), seq, ok)
+	}
+	for _, name := range []string{"journal.5junk.jsonl", "journal.5.jsonl", "journal.jsonl"} {
+		if _, ok := parseSegmentSeq(name); ok {
 			t.Fatalf("parse(%q) accepted a foreign file", name)
 		}
 	}
