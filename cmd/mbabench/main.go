@@ -53,7 +53,7 @@ func run() error {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		outdir     = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		benchjson  = flag.String("benchjson", "", "run the benchmark-regression harness and write its JSON report to this file")
-		suites     = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round, matching)")
+		suites     = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round, matching, incremental)")
 		benchdiff  = flag.String("benchdiff", "", "re-run this baseline report's suites and fail on regressions beyond -benchtol")
 		benchtol   = flag.Float64("benchtol", experiments.DefaultBenchTolerance, "fractional slowdown tolerated by -benchdiff before failing")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")

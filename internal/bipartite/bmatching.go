@@ -8,6 +8,15 @@ import "math"
 // headroom before int64 overflow on million-edge instances.
 const weightScale = 1e9
 
+// ScaledCost converts a non-negative edge weight into the negated scaled
+// int64 cost the flow kernels minimise.  Exported so incremental callers
+// (DeltaMatcher, core's incremental solver) produce costs bit-identical to
+// buildAssignmentNetwork — objective equality across solve paths depends on
+// every path quantising weights through this exact function.
+func ScaledCost(w float64) int64 {
+	return -int64(math.Round(w * weightScale))
+}
+
 // BMatching is a degree-constrained matching: a set of chosen edge indices
 // together with the achieved total weight.
 type BMatching struct {
@@ -63,7 +72,7 @@ func buildAssignmentNetwork(ws *FlowWorkspace, g *Graph, capL, capR []int, weigh
 		}
 		var c int64
 		if weighted {
-			c = -int64(math.Round(e.Weight * weightScale))
+			c = ScaledCost(e.Weight)
 		}
 		edgeArc[i] = int32(net.AddEdge(1+e.L, 1+nL+e.R, 1, c))
 	}

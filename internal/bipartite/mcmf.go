@@ -43,14 +43,25 @@ func (f *FlowNetwork) MinCostFlowWS(s, t int, maxFlow int64, stopAtNonNegative b
 		panic("bipartite: MinCostFlow with s == t")
 	}
 	f.ensureAdj()
-
 	pot := growI64(ws.pot, f.n)
 	f.initPotentials(s, pot)
+	ws.pot = pot
+	return f.minCostFlowLoop(s, t, maxFlow, stopAtNonNegative, ws)
+}
+
+// minCostFlowLoop is the successive-shortest-paths augmentation loop shared
+// by the cold path (MinCostFlowWS, potentials from initPotentials) and the
+// warm path (MinCostFlowWarmWS, carried duals validated/repaired first).
+// Precondition: ws.pot[:f.n] holds reduced-cost-feasible potentials for the
+// current residual graph.  On return ws.potN records the network size the
+// final potentials are valid for, which is what the warm path checks.
+func (f *FlowNetwork) minCostFlowLoop(s, t int, maxFlow int64, stopAtNonNegative bool, ws *FlowWorkspace) MCMFResult {
+	pot := ws.pot[:f.n]
 	dist := growI64(ws.dist, f.n)
 	prevArc := growI32(ws.prevArc, f.n)
 	inHeap := growI32(ws.heapPos, f.n) // position in heap + 1; 0 = absent
 	h := heap64{es: ws.heapEs[:0], pos: inHeap}
-	ws.pot, ws.dist, ws.prevArc = pot, dist, prevArc
+	ws.dist, ws.prevArc = dist, prevArc
 
 	// Hoisted locals: the relaxation loop is the hot path of the whole
 	// exact solver, and keeping the slice headers out of the FlowNetwork
@@ -134,6 +145,7 @@ func (f *FlowNetwork) MinCostFlowWS(s, t int, maxFlow int64, stopAtNonNegative b
 		res.Cost += push * realPathCost
 	}
 	ws.heapEs = h.es[:0]
+	ws.potN = f.n
 	return res
 }
 

@@ -38,6 +38,11 @@ type FlowWorkspace struct {
 	pot     []int64
 	heapEs  []heapEnt
 	heapPos []int32
+	// potN is the vertex count of the network the carried potentials in pot
+	// were last left feasible for (set by the augmentation loop's epilogue);
+	// 0 means no solve has completed yet.  The warm-start path refuses to
+	// reuse pot when the new network's size differs.
+	potN int
 
 	// Max-flow scratch (MaxFlowWS) and Hopcroft–Karp layers/frontier.
 	level []int32
@@ -92,6 +97,13 @@ func growI32(buf []int32, n int) []int32 {
 		return buf[:n]
 	}
 	return make([]int32, n)
+}
+
+func growI8(buf []int8, n int) []int8 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int8, n)
 }
 
 func growI64(buf []int64, n int) []int64 {

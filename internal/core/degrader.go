@@ -28,6 +28,17 @@ type SolveReport struct {
 	// StageErrors holds one "name: error" entry per failed stage, in chain
 	// order.
 	StageErrors []string
+	// WarmStarted reports that the serving stage reused dual state carried
+	// from a previous round instead of cold-starting its solve.
+	WarmStarted bool
+	// DirtyFraction is the serving stage's estimate of how much of the
+	// problem changed since the state it carried (1 on a full solve, 0 on a
+	// zero-churn warm round).  Meaningful only for delta-aware stages.
+	DirtyFraction float64
+	// FullSolveFallback reports that a delta-aware stage held carried state
+	// but discarded it and re-solved from scratch — because the delta failed
+	// validation or the dirty fraction crossed the stage's threshold.
+	FullSolveFallback bool
 }
 
 // SolveReporter is implemented by solvers that can describe how their last
@@ -78,11 +89,15 @@ func NewDegrader(deadline time.Duration, chain ...Solver) *Degrader {
 	return &Degrader{Chain: chain, Deadline: deadline}
 }
 
-// DefaultDegrader is the registry's chain — exact → local-search → greedy
-// with no deadline, so out of the box it acts as a panic/error fallback;
-// serving loops set Deadline for time-based degradation.
+// DefaultDegrader is the registry's chain — incremental → exact →
+// local-search → greedy with no deadline, so out of the box it acts as a
+// panic/error fallback; serving loops set Deadline for time-based
+// degradation.  The incremental head makes the composite delta-aware: warm
+// rounds repair the carried matching, and any validation failure inside the
+// head degrades to a cold exact solve with identical results.
 func DefaultDegrader() *Degrader {
 	return NewDegrader(0,
+		NewIncrementalExact(),
 		Exact{Kind: MutualWeight},
 		LocalSearch{Kind: MutualWeight},
 		Greedy{Kind: MutualWeight},
@@ -110,6 +125,19 @@ func (d *Degrader) Solve(p *Problem, r *stats.RNG) ([]int, error) {
 // returned.  The internal Deadline/Grace timers bound individual stages
 // and only ever cause degradation to the next stage, never a failed solve.
 func (d *Degrader) SolveCtx(ctx context.Context, p *Problem, r *stats.RNG) ([]int, error) {
+	return d.solveChain(ctx, p, nil, r)
+}
+
+// SolveDeltaCtx implements DeltaSolver: the delta is forwarded to every
+// delta-aware stage in the chain (in practice the incremental head), and the
+// remaining stages solve from scratch exactly as in SolveCtx.  Degradation
+// semantics are unchanged — a delta that the head cannot use costs one full
+// solve, never a wrong answer.
+func (d *Degrader) SolveDeltaCtx(ctx context.Context, p *Problem, delta *Delta, r *stats.RNG) ([]int, error) {
+	return d.solveChain(ctx, p, delta, r)
+}
+
+func (d *Degrader) solveChain(ctx context.Context, p *Problem, delta *Delta, r *stats.RNG) ([]int, error) {
 	if len(d.Chain) == 0 {
 		return nil, errors.New("core: degrader has an empty chain")
 	}
@@ -156,7 +184,13 @@ func (d *Degrader) SolveCtx(ctx context.Context, p *Problem, r *stats.RNG) ([]in
 		if r != nil {
 			stageRNG = r.Split()
 		}
-		sel, err := safeSolve(stageCtx, p, s, stageRNG)
+		var sel []int
+		var err error
+		if ds, ok := s.(DeltaSolver); ok && delta != nil {
+			sel, err = safeSolveDelta(stageCtx, p, ds, delta, stageRNG)
+		} else {
+			sel, err = safeSolve(stageCtx, p, s, stageRNG)
+		}
 		if cancel != nil {
 			cancel()
 		}
@@ -164,6 +198,12 @@ func (d *Degrader) SolveCtx(ctx context.Context, p *Problem, r *stats.RNG) ([]in
 			rep.ServedBy = s.Name()
 			if i > 0 {
 				rep.DegradedFrom = d.Chain[0].Name()
+			}
+			if sr, ok := s.(SolveReporter); ok {
+				sub := sr.LastReport()
+				rep.WarmStarted = sub.WarmStarted
+				rep.DirtyFraction = sub.DirtyFraction
+				rep.FullSolveFallback = sub.FullSolveFallback
 			}
 			return sel, nil
 		}

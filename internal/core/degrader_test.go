@@ -79,7 +79,7 @@ func TestDegraderNoDeadlineServesPreferred(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := d.LastReport()
-	if rep.ServedBy != "exact" || rep.DegradedFrom != "" || rep.SolveTimedOut {
+	if rep.ServedBy != "incremental" || rep.DegradedFrom != "" || rep.SolveTimedOut {
 		t.Fatalf("unexpected report: %+v", rep)
 	}
 	want, _, err := core.Run(p, core.Exact{Kind: core.MutualWeight}, stats.NewRNG(1))

@@ -11,6 +11,7 @@ import (
 var solverFactories = map[string]func() Solver{
 	"exact":               func() Solver { return Exact{Kind: MutualWeight} },
 	"exact-serial":        func() Solver { return ExactSerial{Kind: MutualWeight} },
+	"incremental":         func() Solver { return NewIncrementalExact() },
 	"greedy":              func() Solver { return Greedy{Kind: MutualWeight} },
 	"local-search":        func() Solver { return LocalSearch{Kind: MutualWeight} },
 	"local-search-serial": func() Solver { return LocalSearchSerial{Kind: MutualWeight} },

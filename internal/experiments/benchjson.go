@@ -17,6 +17,12 @@ package experiments
 //     (Exact with a pinned warmed Workspace) at three scales of its own:
 //     the exact solver is super-linear, so the suite stops where it stays
 //     tractable.  Checked in as BENCH_matching.json.
+//   - "incremental": the churn-rate × market-size grid of the delta
+//     solving path — cold and warm full exact solves against the
+//     incremental solver serving zero-churn rounds and ping-ponged 1% / 5%
+//     churn batches through carried duals.  Checked in as
+//     BENCH_incremental.json; the ≥10× warm-vs-cold headline lives in the
+//     "lg" rows.
 //
 // "solve" and "round" are checked in together as BENCH_solve.json.  Future
 // PRs compare a fresh run against the checked-in baselines (`mbabench
@@ -47,7 +53,9 @@ const BenchSchema = "mba-bench/v2"
 const benchExactEdgeBudget = 60000
 
 // BenchSuites lists the suites RunBenchJSON knows, in canonical order.
-func BenchSuites() []string { return []string{"construction", "solve", "round", "matching"} }
+func BenchSuites() []string {
+	return []string{"construction", "solve", "round", "matching", "incremental"}
+}
 
 // BenchScale is one market size of the regression harness.
 type BenchScale struct {
@@ -147,6 +155,8 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 			err = runRoundSuite(log, cfg, scales, rep)
 		case "matching":
 			err = runMatchingSuite(log, cfg, rep)
+		case "incremental":
+			err = runIncrementalSuite(log, cfg, rep)
 		default:
 			err = fmt.Errorf("experiments: unknown bench suite %q (have %v)", suite, BenchSuites())
 		}
@@ -370,6 +380,217 @@ func runMatchingSuite(log io.Writer, cfg BenchConfig, rep *BenchReport) error {
 				}
 			}
 		}))
+	}
+	return nil
+}
+
+// IncrementalBenchScales returns the churn-grid market sizes.  "lg" is the
+// headline scale of the warm-vs-cold comparison; like the matching suite it
+// stays below the sizes where the cold exact baseline would dominate the
+// harness's wall clock.
+func IncrementalBenchScales() []BenchScale {
+	return []BenchScale{
+		{Name: "sm", Workers: 200, Tasks: 150},
+		{Name: "md", Workers: 400, Tasks: 300},
+		{Name: "lg", Workers: 800, Tasks: 600},
+	}
+}
+
+// benchSubsetInstance materialises the instance that keeps all entities of
+// in except every strideW-th worker and strideT-th task, with dense IDs and
+// the full market's MaxPayment pinned (so utility normalisation — and with
+// it every surviving edge weight — is identical in both instances).
+func benchSubsetInstance(in *market.Instance, strideW, strideT int) (*market.Instance, []int, []int) {
+	out := &market.Instance{
+		Name:          in.Name,
+		NumCategories: in.NumCategories,
+		MaxPayment:    in.MaxPayment,
+	}
+	var keptW, keptT []int
+	for i, w := range in.Workers {
+		if (i+1)%strideW == 0 {
+			continue
+		}
+		w.ID = len(out.Workers)
+		out.Workers = append(out.Workers, w)
+		keptW = append(keptW, i)
+	}
+	for j, t := range in.Tasks {
+		if (j+1)%strideT == 0 {
+			continue
+		}
+		t.ID = len(out.Tasks)
+		out.Tasks = append(out.Tasks, t)
+		keptT = append(keptT, j)
+	}
+	return out, keptW, keptT
+}
+
+// benchDeltaBetween encodes the positional churn delta from the market
+// whose entity identities are prevIDs to the one with curIDs; both lists
+// are ascending (they are kept-index lists over the same full market).
+func benchDeltaBetween(prevW, curW, prevT, curT []int) *core.Delta {
+	diff := func(prevIDs, curIDs []int) (prev, added, removed []int32) {
+		prev = make([]int32, len(curIDs))
+		i, j := 0, 0
+		for j < len(curIDs) {
+			switch {
+			case i < len(prevIDs) && prevIDs[i] == curIDs[j]:
+				prev[j] = int32(i)
+				i++
+				j++
+			case i < len(prevIDs) && prevIDs[i] < curIDs[j]:
+				removed = append(removed, int32(i))
+				i++
+			default:
+				prev[j] = -1
+				added = append(added, int32(j))
+				j++
+			}
+		}
+		for ; i < len(prevIDs); i++ {
+			removed = append(removed, int32(i))
+		}
+		return prev, added, removed
+	}
+	d := &core.Delta{}
+	d.PrevWorker, d.AddedWorkers, d.RemovedWorkers = diff(prevW, curW)
+	d.PrevTask, d.AddedTasks, d.RemovedTasks = diff(prevT, curT)
+	return d
+}
+
+// runIncrementalSuite measures the delta solving path on the churn grid.
+// Per scale: the cold exact baseline (exact-serial, fresh everything), the
+// warm full solve (exact through a pinned workspace), the incremental
+// solver serving a zero-churn round (the steady state of the ≥10× goal),
+// and the incremental solver ping-ponging between the full market and a
+// churned copy at two churn rates — every iteration applies one
+// departure/arrival batch and repairs the matching through carried duals.
+func runIncrementalSuite(log io.Writer, cfg BenchConfig, rep *BenchReport) error {
+	scales := cfg.Scales
+	if len(scales) == 0 {
+		scales = IncrementalBenchScales()
+	}
+	for _, sc := range scales {
+		in, err := benchInstance(sc, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		p, err := core.NewProblem(in, benefit.DefaultParams())
+		if err != nil {
+			return err
+		}
+		add := benchAdder(log, rep, "incremental", sc, len(p.Edges))
+
+		cold := core.ExactSerial{Kind: core.MutualWeight}
+		add("exact-cold", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cold.Solve(p, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+		warm := core.Exact{Kind: core.MutualWeight, WS: core.NewWorkspace()}
+		if _, err := warm.Solve(p, nil); err != nil {
+			return err
+		}
+		add("exact-warm", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := warm.Solve(p, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+		// Zero churn: an identity delta every round — pure revalidation plus
+		// extraction, the steady state the ≥10× acceptance target measures.
+		ident := &core.Delta{
+			PrevWorker: make([]int32, in.NumWorkers()),
+			PrevTask:   make([]int32, in.NumTasks()),
+		}
+		for i := range ident.PrevWorker {
+			ident.PrevWorker[i] = int32(i)
+		}
+		for j := range ident.PrevTask {
+			ident.PrevTask[j] = int32(j)
+		}
+		add("incremental-steady", testing.Benchmark(func(b *testing.B) {
+			s := core.NewIncrementalExact()
+			if _, err := s.Solve(p, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SolveDeltaCtx(nil, p, ident, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if r := s.LastReport(); !r.WarmStarted || r.FullSolveFallback {
+				b.Fatalf("steady round not served warm: %+v", r)
+			}
+		}))
+
+		// Churned rounds: ping-pong between the full market and a copy with
+		// every strideW-th worker / strideT-th task removed, so each
+		// iteration is one real departure-or-arrival batch at the named
+		// churn rate (1/stride of each side).
+		for _, churn := range []struct {
+			name    string
+			strideW int
+			strideT int
+		}{
+			{"incremental-churn1", 100, 100},
+			{"incremental-churn5", 20, 20},
+		} {
+			inB, keptW, keptT := benchSubsetInstance(in, churn.strideW, churn.strideT)
+			pB, err := core.NewProblem(inB, benefit.DefaultParams())
+			if err != nil {
+				return err
+			}
+			allW := make([]int, in.NumWorkers())
+			for i := range allW {
+				allW[i] = i
+			}
+			allT := make([]int, in.NumTasks())
+			for j := range allT {
+				allT[j] = j
+			}
+			dAB := benchDeltaBetween(allW, keptW, allT, keptT)
+			dBA := benchDeltaBetween(keptW, allW, keptT, allT)
+			add(churn.name, testing.Benchmark(func(b *testing.B) {
+				s := core.NewIncrementalExact()
+				if _, err := s.Solve(p, nil); err != nil {
+					b.Fatal(err)
+				}
+				// Warm both directions once so arena growth is off-clock.
+				if _, err := s.SolveDeltaCtx(nil, pB, dAB, nil); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.SolveDeltaCtx(nil, p, dBA, nil); err != nil {
+					b.Fatal(err)
+				}
+				if r := s.LastReport(); !r.WarmStarted || r.FullSolveFallback {
+					b.Fatalf("churn round not served warm: %+v", r)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%2 == 0 {
+						_, err = s.SolveDeltaCtx(nil, pB, dAB, nil)
+					} else {
+						_, err = s.SolveDeltaCtx(nil, p, dBA, nil)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
 	}
 	return nil
 }

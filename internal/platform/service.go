@@ -39,6 +39,14 @@ type RoundResult struct {
 	ServedBy      string `json:"served_by,omitempty"`
 	DegradedFrom  string `json:"degraded_from,omitempty"`
 	SolveTimedOut bool   `json:"solve_timed_out,omitempty"`
+	// WarmStarted / DirtyFraction / FullSolveFallback mirror the incremental
+	// provenance of core.SolveReport when the solver is delta-aware: whether
+	// the round reused carried dual state, how much of the problem had
+	// churned, and whether carried state had to be discarded for a full
+	// re-solve.
+	WarmStarted       bool    `json:"warm_started,omitempty"`
+	DirtyFraction     float64 `json:"dirty_fraction,omitempty"`
+	FullSolveFallback bool    `json:"full_solve_fallback,omitempty"`
 	// SolveError is set when the solve failed outright (every degrader
 	// stage exhausted, or a panicking solver).  The round still closed —
 	// its marker is journaled — but assigned nothing.
@@ -179,8 +187,17 @@ func (s *Service) CloseRoundCtx(ctx context.Context) (*RoundResult, error) {
 	s.roundMu.Lock()
 	defer s.roundMu.Unlock()
 
-	// Phase 1: snapshot under the state's read lock only.
-	in, workerIDs, taskIDs := s.state.Snapshot()
+	// Phase 1: snapshot under the state's lock only.  A delta-aware solver
+	// additionally gets the churn since the previous snapshot, so warm
+	// rounds repair the carried matching instead of re-solving.
+	var in *market.Instance
+	var workerIDs, taskIDs []int
+	var delta *core.Delta
+	if _, ok := s.solver.(core.DeltaSolver); ok {
+		in, workerIDs, taskIDs, delta = s.state.SnapshotDelta()
+	} else {
+		in, workerIDs, taskIDs = s.state.Snapshot()
+	}
 
 	var res RoundResult
 	if in.NumWorkers() > 0 && in.NumTasks() > 0 {
@@ -191,7 +208,7 @@ func (s *Service) CloseRoundCtx(ctx context.Context) (*RoundResult, error) {
 		// into the previous round's arenas.  prev is owned by roundMu and
 		// nothing outside this method retains views into it (pairs below are
 		// copied out), so the reuse cannot be observed.
-		pairs, err := s.solveSnapshot(ctx, in, r, workerIDs, taskIDs, &res)
+		pairs, err := s.solveSnapshot(ctx, in, delta, r, workerIDs, taskIDs, &res)
 		if err != nil {
 			if ctx.Err() != nil {
 				// The caller is gone; don't journal a marker for a round
@@ -229,7 +246,7 @@ func (s *Service) CloseRoundCtx(ctx context.Context) (*RoundResult, error) {
 // covers construction as well as the solve (core.RunCtx fences the solver
 // itself), so malformed input or an arena-reuse bug in the rebuild path
 // costs one round, not the process.
-func (s *Service) solveSnapshot(ctx context.Context, in *market.Instance, r *stats.RNG, workerIDs, taskIDs []int, res *RoundResult) (pairs []AssignmentPair, err error) {
+func (s *Service) solveSnapshot(ctx context.Context, in *market.Instance, delta *core.Delta, r *stats.RNG, workerIDs, taskIDs []int, res *RoundResult) (pairs []AssignmentPair, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			pairs, err = nil, fmt.Errorf("platform: round solve panicked: %v", rec)
@@ -240,12 +257,15 @@ func (s *Service) solveSnapshot(ctx context.Context, in *market.Instance, r *sta
 		return nil, err
 	}
 	s.prev = p
-	sel, m, err := core.RunCtx(ctx, p, s.solver, r)
+	sel, m, err := core.RunDeltaCtx(ctx, p, s.solver, delta, r)
 	if rep, ok := s.solver.(core.SolveReporter); ok {
 		last := rep.LastReport()
 		res.ServedBy = last.ServedBy
 		res.DegradedFrom = last.DegradedFrom
 		res.SolveTimedOut = last.SolveTimedOut
+		res.WarmStarted = last.WarmStarted
+		res.DirtyFraction = last.DirtyFraction
+		res.FullSolveFallback = last.FullSolveFallback
 	}
 	if err != nil {
 		return nil, err
