@@ -51,6 +51,7 @@ benchjson:
 	$(GO) run ./cmd/mbabench -benchjson BENCH_solve.json -suites solve,round
 	$(GO) run ./cmd/mbabench -benchjson BENCH_matching.json -suites matching
 	$(GO) run ./cmd/mbabench -benchjson BENCH_incremental.json -suites incremental
+	$(GO) run ./cmd/mbabench -benchjson BENCH_sharded.json -suites sharded-round
 
 # Re-run the checked-in baselines' suites and fail on any entry that got
 # >25% slower (or meaningfully more allocation-hungry).  Run on an idle
@@ -60,3 +61,4 @@ bench-diff:
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_solve.json
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_matching.json
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_incremental.json
+	$(GO) run ./cmd/mbabench -benchdiff BENCH_sharded.json

@@ -46,18 +46,19 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment id to run, or \"all\"")
-		seed       = flag.Uint64("seed", 42, "workload and algorithm seed")
-		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		reps       = flag.Int("reps", 0, "repetitions per data point (0 = experiment default)")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		outdir     = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
-		benchjson  = flag.String("benchjson", "", "run the benchmark-regression harness and write its JSON report to this file")
-		suites     = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round, matching, incremental)")
-		benchdiff  = flag.String("benchdiff", "", "re-run this baseline report's suites and fail on regressions beyond -benchtol")
-		benchtol   = flag.Float64("benchtol", experiments.DefaultBenchTolerance, "fractional slowdown tolerated by -benchdiff before failing")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
+		exp         = flag.String("exp", "all", "experiment id to run, or \"all\"")
+		seed        = flag.Uint64("seed", 42, "workload and algorithm seed")
+		quick       = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		reps        = flag.Int("reps", 0, "repetitions per data point (0 = experiment default)")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		outdir      = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		benchjson   = flag.String("benchjson", "", "run the benchmark-regression harness and write its JSON report to this file")
+		suites      = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round, matching, incremental, sharded-round)")
+		roundSolver = flag.String("round-solver", "", "serving solver for the round and sharded-round suites (registry name; empty = per-suite default: greedy / exact)")
+		benchdiff   = flag.String("benchdiff", "", "re-run this baseline report's suites and fail on regressions beyond -benchtol")
+		benchtol    = flag.Float64("benchtol", experiments.DefaultBenchTolerance, "fractional slowdown tolerated by -benchdiff before failing")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 
@@ -101,7 +102,7 @@ func run() error {
 		}
 		fmt.Printf("re-running suites %v against %s (tolerance %.0f%%)\n",
 			baseline.Suites, *benchdiff, *benchtol*100)
-		cfg := experiments.BenchConfig{Seed: baseline.Seed, Suites: baseline.Suites}
+		cfg := experiments.BenchConfig{Seed: baseline.Seed, Suites: baseline.Suites, RoundSolver: baseline.RoundSolver}
 		fresh, err := experiments.RunBenchJSON(os.Stdout, cfg)
 		if err != nil {
 			return err
@@ -138,7 +139,7 @@ func run() error {
 				suiteList = append(suiteList, s)
 			}
 		}
-		rep, err := experiments.RunBenchJSON(os.Stdout, experiments.BenchConfig{Seed: *seed, Suites: suiteList})
+		rep, err := experiments.RunBenchJSON(os.Stdout, experiments.BenchConfig{Seed: *seed, Suites: suiteList, RoundSolver: *roundSolver})
 		if err != nil {
 			return err
 		}

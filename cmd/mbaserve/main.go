@@ -6,11 +6,19 @@
 //
 //	mbaserve -addr :8080 -categories 30 -solver greedy -journal market.jsonl
 //	mbaserve -snapshot-dir ./data -snapshot-every 50 -segment-bytes 4194304
+//	mbaserve -shards 8 -snapshot-dir ./data -solver incremental
 //
 // With -snapshot-dir the journal is segmented inside that directory and a
 // checkpoint (atomic CRC-checked snapshot + journal compaction) is taken
 // every -snapshot-every rounds, so restart recovery costs O(state + tail)
 // instead of replaying history from genesis.
+//
+// With -shards N the market is partitioned into N shard markets (tasks by
+// category, workers resident in every shard of their specialties), each
+// with its own state, segmented journal and checkpoints under
+// <snapshot-dir>/shard-XXXX, solved per round with its own solver instance
+// and merged through the cross-shard reconciliation pass.  The API is
+// unchanged.  -journal (single-file mode) is incompatible with -shards.
 //
 // API (see internal/platform.Server):
 //
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,7 +54,9 @@ import (
 // buildSolver resolves the serving solver from the CLI's robustness
 // flags.  -fallback-chain wraps named solvers into a core.Degrader; a
 // -round-deadline alone implies the chain "<solver>,greedy" so "bound the
-// solve" never silently means "maybe serve nothing".
+// solve" never silently means "maybe serve nothing".  Called once per
+// shard: stateful solvers (incremental duals, degrader reports) must not
+// be shared between concurrently solving shards.
 func buildSolver(name, chain string, deadline time.Duration) (core.Solver, error) {
 	if chain == "" && deadline > 0 {
 		if name == "greedy" {
@@ -95,21 +106,24 @@ func main() {
 		snapshotEvery = flag.Int("snapshot-every", 50, "take a checkpoint every N closed rounds (0 = only via POST /v1/checkpoint)")
 		snapshotKeep  = flag.Int("snapshot-keep", 2, "snapshot generations to retain as the corrupt-snapshot fallback chain")
 		segmentBytes  = flag.Int64("segment-bytes", platform.DefaultSegmentBytes, "seal a journal segment once it reaches this many bytes")
+		numShards     = flag.Int("shards", 1, "partition the market into N shard markets solved concurrently per round (1 = single market)")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof debug handlers on this address (empty disables)")
 	)
 	flag.Parse()
 	if *snapshotDir != "" && *journal != "" {
 		log.Fatal("mbaserve: -snapshot-dir and -journal are mutually exclusive (the segmented journal lives in the snapshot dir)")
 	}
-
-	solver, err := buildSolver(*solverName, *fallbackChain, *roundDeadline)
-	if err != nil {
-		log.Fatalf("mbaserve: %v", err)
+	if *numShards < 1 {
+		log.Fatalf("mbaserve: -shards %d < 1", *numShards)
 	}
+	if *numShards > 1 && *journal != "" {
+		log.Fatal("mbaserve: -shards needs per-shard journals; use -snapshot-dir instead of -journal")
+	}
+
 	fsync, err := parseFsync(*fsyncMode)
 	if err != nil {
 		log.Fatalf("mbaserve: %v", err)
 	}
-
 	// Bounded retry absorbs transient write blips (a failed event is
 	// rolled back, not half-remembered); fsync policy per the flag.
 	logOpts := platform.LogOptions{
@@ -117,84 +131,174 @@ func main() {
 		MaxRetries:   3,
 		RetryBackoff: 2 * time.Millisecond,
 	}
+	params := benefit.Params{Lambda: *lambda, Beta: 0.5}
 
-	var state *platform.State
-	var jnl platform.Journal
-	var jfile *os.File             // single-file mode shutdown handle
-	var seg *platform.SegmentedLog // checkpoint mode journal
-	var cm *platform.CheckpointManager
-	switch {
-	case *snapshotDir != "":
-		// O(state + tail) recovery: newest valid snapshot, then only the
-		// journal segments written after it.
-		var info *platform.RecoveryInfo
-		state, info, err = platform.RecoverDir(*snapshotDir, *categories)
-		if err != nil {
-			log.Fatalf("mbaserve: recovering %s: %v", *snapshotDir, err)
-		}
-		for _, p := range info.CorruptSnapshots {
-			log.Printf("mbaserve: recovery skipped corrupt snapshot %s", p)
-		}
-		if info.TailDropped != nil {
-			log.Printf("mbaserve: recovery dropped torn journal tail: %v", info.TailDropped)
-		}
-		w, t := state.Counts()
-		log.Printf("recovered checkpoint dir: %d workers, %d tasks, %d rounds (snapshot seq %d + %d events from %d segments)",
-			w, t, state.Rounds(), info.Snapshot.Seq, info.EventsReplayed, info.SegmentsReplayed)
-		// OpenSegmentedLog truncates any torn tail before appending — new
-		// events never land after corrupt bytes.
-		seg, err = platform.OpenSegmentedLog(*snapshotDir, platform.SegmentOptions{
-			MaxBytes: *segmentBytes,
-			Log:      logOpts,
-		})
-		if err != nil {
-			log.Fatalf("mbaserve: opening segmented journal: %v", err)
-		}
-		jnl = seg
-	case *journal != "":
-		// Single-file mode: replay tolerating a torn tail from a crash
-		// mid-append, truncate it away, then keep appending.
-		jf, err := platform.OpenJournal(*journal, *categories, logOpts)
-		if err != nil {
-			log.Fatalf("mbaserve: replaying %s: %v", *journal, err)
-		}
-		if jf.Dropped != nil {
-			log.Printf("mbaserve: journal recovery: %v (truncated %d torn bytes)", jf.Dropped, jf.Truncated)
-		}
-		state = jf.State
-		w, t := state.Counts()
-		log.Printf("replayed journal: %d workers, %d tasks, %d rounds", w, t, state.Rounds())
-		jnl = jf.Log
-		jfile = jf.File
-	}
-	if state == nil {
-		if state, err = platform.NewState(*categories); err != nil {
-			log.Fatalf("mbaserve: %v", err)
-		}
+	if *pprofAddr != "" {
+		// The debug endpoint gets its own mux and listener: profiling must
+		// never be reachable through the public API address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("mbaserve: pprof debug endpoint on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("mbaserve: pprof: %v", err)
+			}
+		}()
 	}
 
-	svc, err := platform.NewService(state, solver, benefit.Params{Lambda: *lambda, Beta: 0.5}, jnl, *seed)
-	if err != nil {
-		log.Fatalf("mbaserve: %v", err)
-	}
-	if seg != nil {
-		cm, err = platform.NewCheckpointManager(state, seg, platform.CheckpointOptions{
-			EveryRounds: *snapshotEvery,
-			Keep:        *snapshotKeep,
-		})
+	var backend platform.Backend
+	// Shutdown resources, filled by whichever mode is assembled below.
+	var jfile *os.File                // single-file journal handle
+	var segs []*platform.SegmentedLog // segmented journals (1 or N)
+	var cms []*platform.CheckpointManager
+
+	if *numShards > 1 {
+		bundles := make([]platform.Shard, *numShards)
+		var states []*platform.State
+		if *snapshotDir != "" {
+			var infos []*platform.RecoveryInfo
+			states, infos, err = platform.RecoverShardedDir(*snapshotDir, *categories, *numShards)
+			if err != nil {
+				log.Fatalf("mbaserve: recovering %s: %v", *snapshotDir, err)
+			}
+			for k, info := range infos {
+				for _, p := range info.CorruptSnapshots {
+					log.Printf("mbaserve: shard %d recovery skipped corrupt snapshot %s", k, p)
+				}
+				if info.TailDropped != nil {
+					log.Printf("mbaserve: shard %d recovery dropped torn journal tail: %v", k, info.TailDropped)
+				}
+				w, t := states[k].Counts()
+				log.Printf("recovered shard %d: %d workers, %d tasks, %d rounds (+%d events from %d segments)",
+					k, w, t, states[k].Rounds(), info.EventsReplayed, info.SegmentsReplayed)
+			}
+		} else {
+			states = make([]*platform.State, *numShards)
+			for k := range states {
+				if states[k], err = platform.NewState(*categories); err != nil {
+					log.Fatalf("mbaserve: %v", err)
+				}
+			}
+		}
+		for k := range bundles {
+			solver, err := buildSolver(*solverName, *fallbackChain, *roundDeadline)
+			if err != nil {
+				log.Fatalf("mbaserve: %v", err)
+			}
+			bundles[k] = platform.Shard{State: states[k], Solver: solver}
+			if *snapshotDir != "" {
+				seg, err := platform.OpenSegmentedLog(platform.ShardDir(*snapshotDir, k), platform.SegmentOptions{
+					MaxBytes: *segmentBytes,
+					Log:      logOpts,
+				})
+				if err != nil {
+					log.Fatalf("mbaserve: opening shard %d journal: %v", k, err)
+				}
+				cm, err := platform.NewCheckpointManager(states[k], seg, platform.CheckpointOptions{
+					EveryRounds: *snapshotEvery,
+					Keep:        *snapshotKeep,
+				})
+				if err != nil {
+					log.Fatalf("mbaserve: %v", err)
+				}
+				bundles[k].Journal = seg
+				bundles[k].Checkpoint = cm
+				segs = append(segs, seg)
+				cms = append(cms, cm)
+			}
+		}
+		ss, err := platform.NewShardedService(bundles, params, platform.ShardedOptions{}, *seed)
 		if err != nil {
 			log.Fatalf("mbaserve: %v", err)
 		}
-		svc.SetCheckpointer(cm)
+		backend = ss
+	} else {
+		solver, err := buildSolver(*solverName, *fallbackChain, *roundDeadline)
+		if err != nil {
+			log.Fatalf("mbaserve: %v", err)
+		}
+		var state *platform.State
+		var jnl platform.Journal
+		switch {
+		case *snapshotDir != "":
+			// O(state + tail) recovery: newest valid snapshot, then only the
+			// journal segments written after it.
+			var info *platform.RecoveryInfo
+			state, info, err = platform.RecoverDir(*snapshotDir, *categories)
+			if err != nil {
+				log.Fatalf("mbaserve: recovering %s: %v", *snapshotDir, err)
+			}
+			for _, p := range info.CorruptSnapshots {
+				log.Printf("mbaserve: recovery skipped corrupt snapshot %s", p)
+			}
+			if info.TailDropped != nil {
+				log.Printf("mbaserve: recovery dropped torn journal tail: %v", info.TailDropped)
+			}
+			w, t := state.Counts()
+			log.Printf("recovered checkpoint dir: %d workers, %d tasks, %d rounds (snapshot seq %d + %d events from %d segments)",
+				w, t, state.Rounds(), info.Snapshot.Seq, info.EventsReplayed, info.SegmentsReplayed)
+			// OpenSegmentedLog truncates any torn tail before appending — new
+			// events never land after corrupt bytes.
+			seg, err := platform.OpenSegmentedLog(*snapshotDir, platform.SegmentOptions{
+				MaxBytes: *segmentBytes,
+				Log:      logOpts,
+			})
+			if err != nil {
+				log.Fatalf("mbaserve: opening segmented journal: %v", err)
+			}
+			jnl = seg
+			segs = append(segs, seg)
+		case *journal != "":
+			// Single-file mode: replay tolerating a torn tail from a crash
+			// mid-append, truncate it away, then keep appending.
+			jf, err := platform.OpenJournal(*journal, *categories, logOpts)
+			if err != nil {
+				log.Fatalf("mbaserve: replaying %s: %v", *journal, err)
+			}
+			if jf.Dropped != nil {
+				log.Printf("mbaserve: journal recovery: %v (truncated %d torn bytes)", jf.Dropped, jf.Truncated)
+			}
+			state = jf.State
+			w, t := state.Counts()
+			log.Printf("replayed journal: %d workers, %d tasks, %d rounds", w, t, state.Rounds())
+			jnl = jf.Log
+			jfile = jf.File
+		}
+		if state == nil {
+			if state, err = platform.NewState(*categories); err != nil {
+				log.Fatalf("mbaserve: %v", err)
+			}
+		}
+		svc, err := platform.NewService(state, solver, params, jnl, *seed)
+		if err != nil {
+			log.Fatalf("mbaserve: %v", err)
+		}
+		if len(segs) == 1 {
+			cm, err := platform.NewCheckpointManager(state, segs[0], platform.CheckpointOptions{
+				EveryRounds: *snapshotEvery,
+				Keep:        *snapshotKeep,
+			})
+			if err != nil {
+				log.Fatalf("mbaserve: %v", err)
+			}
+			svc.SetCheckpointer(cm)
+			cms = append(cms, cm)
+		}
+		backend = svc
 	}
+
 	// Serve with sane timeouts (a stuck client must not pin a connection
 	// forever; round closes are bounded by WriteTimeout) and shut down
 	// gracefully: on SIGINT/SIGTERM stop accepting, drain in-flight
 	// requests — including a round mid-solve — then flush and close the
-	// journal so the last accepted mutation is durable before exit.
+	// journal(s) so the last accepted mutation is durable before exit.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           platform.NewServerWithOptions(svc, platform.NewServerOptions()),
+		Handler:           platform.NewServerWithOptions(backend, platform.NewServerOptions()),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
@@ -205,7 +309,7 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
-	fmt.Printf("mbaserve listening on %s (solver=%s, categories=%d)\n", *addr, *solverName, *categories)
+	fmt.Printf("mbaserve listening on %s (solver=%s, categories=%d, shards=%d)\n", *addr, *solverName, *categories, *numShards)
 
 	select {
 	case err := <-serveErr:
@@ -229,14 +333,14 @@ func main() {
 			log.Printf("mbaserve: journal close: %v", err)
 		}
 	}
-	if cm != nil {
+	for _, cm := range cms {
 		// A parting checkpoint makes the next start near-instant: recovery
 		// loads the snapshot and replays an empty tail.
 		if _, err := cm.Checkpoint(); err != nil {
 			log.Printf("mbaserve: shutdown checkpoint: %v", err)
 		}
 	}
-	if seg != nil {
+	for _, seg := range segs {
 		if err := seg.Close(); err != nil {
 			log.Printf("mbaserve: journal close: %v", err)
 		}

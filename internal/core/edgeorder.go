@@ -73,19 +73,6 @@ func sortEdgesByWeightWS(p *Problem, kind WeightKind, idx []int32, ws *Workspace
 	ws.sorter32.idx, ws.sorter32.wt = nil, nil
 }
 
-// sortIntEdgesByWeightWS is sortEdgesByWeightWS for []int edge orders.
-func sortIntEdgesByWeightWS(p *Problem, kind WeightKind, idx []int, ws *Workspace) {
-	if len(idx) < 2 {
-		return
-	}
-	ws.sortWt = growF64(ws.sortWt, len(idx))
-	wt := ws.sortWt[:len(idx)]
-	extractWeights(p, kind, idx, wt)
-	ws.sorterInt.idx, ws.sorterInt.wt = idx, wt
-	sort.Sort(&ws.sorterInt)
-	ws.sorterInt.idx, ws.sorterInt.wt = nil, nil
-}
-
 // identityOrderWS fills ws.order with the edge indices 0..n-1.
 func identityOrderWS(ws *Workspace, n int) []int32 {
 	ws.order = growI32(ws.order, n)

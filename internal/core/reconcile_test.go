@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReconcileTakeKeepsHeaviest pins the primitive's contract on a hand
+// case: one worker with capacity 1 contested by two picks keeps the heavier
+// one, and capacities are decremented in place.
+func TestReconcileTakeKeepsHeaviest(t *testing.T) {
+	picks := []PickEdge{
+		{W: 0, T: 0, Weight: 1.0, Ref: 0},
+		{W: 0, T: 1, Weight: 3.0, Ref: 1},
+		{W: 1, T: 1, Weight: 2.0, Ref: 2},
+	}
+	capW := []int{2, 1}
+	capT := []int{1, 1}
+	k := ReconcileTake(picks, capW, capT)
+	// Take order is weight-descending: worker 0 takes task 1 (weight 3),
+	// worker 1 is then refused task 1 (replication exhausted), and worker 0
+	// still has room for task 0.
+	if k != 2 {
+		t.Fatalf("took %d picks, want 2", k)
+	}
+	if picks[0].Ref != 1 || picks[1].Ref != 0 {
+		t.Fatalf("kept refs [%d %d], want [1 0]", picks[0].Ref, picks[1].Ref)
+	}
+	if capW[0] != 0 || capW[1] != 1 || capT[0] != 0 || capT[1] != 0 {
+		t.Fatalf("capacities not decremented: capW=%v capT=%v", capW, capT)
+	}
+}
+
+// TestReconcileTakeDeterministicTies pins tie-breaking: equal weights are
+// ordered by ascending Ref, independent of input order.
+func TestReconcileTakeDeterministicTies(t *testing.T) {
+	base := []PickEdge{
+		{W: 0, T: 0, Weight: 5, Ref: 2},
+		{W: 0, T: 1, Weight: 5, Ref: 0},
+		{W: 0, T: 2, Weight: 5, Ref: 1},
+	}
+	for perm := 0; perm < 6; perm++ {
+		picks := make([]PickEdge, len(base))
+		copy(picks, base)
+		rand.New(rand.NewSource(int64(perm))).Shuffle(len(picks), func(i, j int) {
+			picks[i], picks[j] = picks[j], picks[i]
+		})
+		capW := []int{2}
+		capT := []int{1, 1, 1}
+		k := ReconcileTake(picks, capW, capT)
+		if k != 2 {
+			t.Fatalf("perm %d: took %d, want 2", perm, k)
+		}
+		if picks[0].Ref != 0 || picks[1].Ref != 1 {
+			t.Fatalf("perm %d: kept refs [%d %d], want [0 1]", perm, picks[0].Ref, picks[1].Ref)
+		}
+	}
+}
+
+// TestReconcileTakeFeasibility fuzzes random pick sets and checks the
+// invariant the platform reconciler relies on: the kept prefix never
+// exceeds either side's capacity and never leaves a feasible pick behind.
+func TestReconcileTakeFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nW := 1 + rng.Intn(8)
+		nT := 1 + rng.Intn(8)
+		capW := make([]int, nW)
+		capT := make([]int, nT)
+		origW := make([]int, nW)
+		origT := make([]int, nT)
+		for i := range capW {
+			capW[i] = rng.Intn(3)
+			origW[i] = capW[i]
+		}
+		for j := range capT {
+			capT[j] = rng.Intn(3)
+			origT[j] = capT[j]
+		}
+		n := rng.Intn(30)
+		picks := make([]PickEdge, n)
+		for i := range picks {
+			picks[i] = PickEdge{
+				W:      int32(rng.Intn(nW)),
+				T:      int32(rng.Intn(nT)),
+				Weight: rng.Float64(),
+				Ref:    int32(i),
+			}
+		}
+		k := ReconcileTake(picks, capW, capT)
+		usedW := make([]int, nW)
+		usedT := make([]int, nT)
+		for _, pe := range picks[:k] {
+			usedW[pe.W]++
+			usedT[pe.T]++
+		}
+		for i := range usedW {
+			if usedW[i] > origW[i] {
+				t.Fatalf("trial %d: worker %d over capacity (%d > %d)", trial, i, usedW[i], origW[i])
+			}
+			if capW[i] != origW[i]-usedW[i] {
+				t.Fatalf("trial %d: capW[%d] = %d, want %d", trial, i, capW[i], origW[i]-usedW[i])
+			}
+		}
+		for j := range usedT {
+			if usedT[j] > origT[j] {
+				t.Fatalf("trial %d: task %d over capacity (%d > %d)", trial, j, usedT[j], origT[j])
+			}
+			if capT[j] != origT[j]-usedT[j] {
+				t.Fatalf("trial %d: capT[%d] = %d, want %d", trial, j, capT[j], origT[j]-usedT[j])
+			}
+		}
+		// Maximality over the pick set: every loser must have been blocked.
+		for _, pe := range picks[k:] {
+			if capW[pe.W] > 0 && capT[pe.T] > 0 {
+				t.Fatalf("trial %d: feasible pick left behind (w=%d t=%d)", trial, pe.W, pe.T)
+			}
+		}
+	}
+}

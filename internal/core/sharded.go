@@ -88,63 +88,56 @@ func (s ShardedGreedy) Solve(p *Problem, _ *stats.RNG) ([]int, error) {
 	}
 	wg.Wait()
 
-	// Phase 2 (sequential): reconcile.  Union the shard picks sorted by
-	// weight and re-run the capacity-respecting take — workers that were
-	// over-subscribed keep their heaviest edges.
+	// Phase 2 (sequential): reconcile.  Union the shard picks and run the
+	// keep-heaviest pass against the true capacities — workers that were
+	// over-subscribed keep their heaviest edges.  Ref carries the edge
+	// index, whose uniqueness makes the take order strict.
 	n := 0
 	for _, picks := range shardPicks {
 		n += len(picks)
 	}
-	ws.intsB = growInts(ws.intsB, n)[:0]
-	union := ws.intsB
+	ws.picks = growPicks(ws.picks, n)[:0]
+	union := ws.picks
 	for _, picks := range shardPicks {
-		union = append(union, picks...)
+		for _, ei := range picks {
+			e := &p.Edges[ei]
+			union = append(union, PickEdge{W: int32(e.W), T: int32(e.T), Weight: e.Weight(s.Kind), Ref: int32(ei)})
+		}
 	}
-	sortIntEdgesByWeightWS(p, s.Kind, union, ws)
 	capW := p.capacityWInto(ws)
 	capT := p.capacityTInto(ws)
+	k := ReconcileTake(union, capW, capT)
 	ws.chosen = growBoolZero(ws.chosen, len(p.Edges))
 	taken := ws.chosen
 	ws.sel = growInts(ws.sel, 0)[:0]
 	sel := ws.sel
-	for _, ei := range union {
-		e := &p.Edges[ei]
-		if !taken[ei] && capW[e.W] > 0 && capT[e.T] > 0 {
-			taken[ei] = true
-			capW[e.W]--
-			capT[e.T]--
-			sel = append(sel, ei)
-		}
+	for i := 0; i < k; i++ {
+		taken[union[i].Ref] = true
+		sel = append(sel, int(union[i].Ref))
 	}
 
-	// Phase 3 (sequential): fill any slots the reconciliation freed, using
-	// each still-open task's best remaining edges.
+	// Phase 3 (sequential): refill any slots the reconciliation freed with
+	// the heaviest remaining edges whose endpoints both still have room.
+	// Same primitive, residual capacities: only tasks with capT > 0 and
+	// workers with capW > 0 contribute candidates.  The winners consumed
+	// union[:k] above, so the pick buffer can be reused for candidates.
+	cands := union[:0]
 	for t := 0; t < nT; t++ {
 		if capT[t] == 0 {
 			continue
 		}
-		adj := p.AdjT(t)
-		ws.order = growI32(ws.order, len(adj))[:0]
-		cands := ws.order
-		for _, ei := range adj {
-			if !taken[ei] && capW[p.Edges[ei].W] > 0 {
-				cands = append(cands, ei)
-			}
-		}
-		sortEdgesByWeightWS(p, s.Kind, cands, ws)
-		for _, ei := range cands {
-			if capT[t] == 0 {
-				break
-			}
+		for _, ei := range p.AdjT(t) {
 			e := &p.Edges[ei]
-			if capW[e.W] > 0 {
-				taken[ei] = true
-				capW[e.W]--
-				capT[t]--
-				sel = append(sel, int(ei))
+			if !taken[ei] && capW[e.W] > 0 {
+				cands = append(cands, PickEdge{W: int32(e.W), T: int32(e.T), Weight: e.Weight(s.Kind), Ref: ei})
 			}
 		}
 	}
+	kf := ReconcileTake(cands, capW, capT)
+	for i := 0; i < kf; i++ {
+		sel = append(sel, int(cands[i].Ref))
+	}
+	ws.picks = cands[:0]
 	ws.sel = sel
 	return copySel(sel), nil
 }

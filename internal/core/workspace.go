@@ -28,11 +28,11 @@ import (
 type Workspace struct {
 	capW, capT []int
 	chosen     []bool
-	order      []int32   // edge order under sort
-	sortWt     []float64 // weights permuted alongside order
-	sel        []int     // selection under construction
-	ints       []int     // arrival orders / int edge orders
-	intsB      []int     // second int order (sharded union)
+	order      []int32    // edge order under sort
+	sortWt     []float64  // weights permuted alongside order
+	sel        []int      // selection under construction
+	ints       []int      // arrival orders / int edge orders
+	picks      []PickEdge // reconciliation candidates (sharded union / refill)
 
 	// Local-search state.
 	edgeWt                 []float64 // frozen per-edge weight, indexed by edge
@@ -44,7 +44,6 @@ type Workspace struct {
 	ls                     lsState // shared read-mostly view for the sweeps
 
 	sorter32   edgeOrder[int32]
-	sorterInt  edgeOrder[int]
 	moveSorter lsMoveSorter
 
 	// Exact-path state: the retained bipartite graph the flow reduction is
@@ -108,6 +107,13 @@ func growEdges(buf []EdgeInfo, n int) []EdgeInfo {
 		return buf[:n]
 	}
 	return make([]EdgeInfo, n)
+}
+
+func growPicks(buf []PickEdge, n int) []PickEdge {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]PickEdge, n)
 }
 
 func growBoolZero(buf []bool, n int) []bool {

@@ -54,7 +54,7 @@ const benchExactEdgeBudget = 60000
 
 // BenchSuites lists the suites RunBenchJSON knows, in canonical order.
 func BenchSuites() []string {
-	return []string{"construction", "solve", "round", "matching", "incremental"}
+	return []string{"construction", "solve", "round", "matching", "incremental", "sharded-round"}
 }
 
 // BenchScale is one market size of the regression harness.
@@ -98,12 +98,17 @@ type BenchResult struct {
 // BenchReport is the top-level document written to BENCH_construction.json
 // and BENCH_solve.json.
 type BenchReport struct {
-	Schema     string        `json:"schema"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Seed       uint64        `json:"seed"`
-	Suites     []string      `json:"suites"`
-	Results    []BenchResult `json:"results"`
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Seed       uint64   `json:"seed"`
+	Suites     []string `json:"suites"`
+	// RoundSolver echoes BenchConfig.RoundSolver so `mbabench -benchdiff`
+	// re-runs a baseline with the solver it was recorded with.  Empty means
+	// each round suite's pinned default (greedy for "round", exact for
+	// "sharded-round").
+	RoundSolver string        `json:"round_solver,omitempty"`
+	Results     []BenchResult `json:"results"`
 }
 
 // WriteJSON writes the indented JSON document.
@@ -121,9 +126,14 @@ type BenchConfig struct {
 	// Suites defaults to {"construction"}.
 	Suites []string
 	// Solvers overrides the solver line-up of the construction and solve
-	// suites (the round suite always solves with greedy).  Tests override
-	// it to keep the harness fast.
+	// suites.  Tests override it to keep the harness fast.
 	Solvers []core.Solver
+	// RoundSolver overrides the serving solver of the "round" and
+	// "sharded-round" suites by registry name.  Empty keeps each suite's
+	// pinned default — greedy for "round" (so checked-in BENCH_solve.json
+	// baselines stay comparable) and exact for "sharded-round" (the
+	// super-linear solver whose cost the partitioning amortises).
+	RoundSolver string
 }
 
 // RunBenchJSON runs the regression harness, logging one human-readable line
@@ -138,11 +148,12 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 		suites = []string{"construction"}
 	}
 	rep := &BenchReport{
-		Schema:     BenchSchema,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       cfg.Seed,
-		Suites:     suites,
+		Schema:      BenchSchema,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        cfg.Seed,
+		Suites:      suites,
+		RoundSolver: cfg.RoundSolver,
 	}
 	for _, suite := range suites {
 		var err error
@@ -157,6 +168,8 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 			err = runMatchingSuite(log, cfg, rep)
 		case "incremental":
 			err = runIncrementalSuite(log, cfg, rep)
+		case "sharded-round":
+			err = runShardedRoundSuite(log, cfg, rep)
 		default:
 			err = fmt.Errorf("experiments: unknown bench suite %q (have %v)", suite, BenchSuites())
 		}
@@ -595,10 +608,26 @@ func runIncrementalSuite(log io.Writer, cfg BenchConfig, rep *BenchReport) error
 	return nil
 }
 
+// benchRoundSolver resolves the round suites' serving solver by registry
+// name.  Greedy and exact are special-cased to carry a pinned workspace, so
+// repeated rounds measure steady-state arena reuse rather than per-solve
+// buffer growth; every call returns a fresh instance (solver state must not
+// be shared between shards solving concurrently).
+func benchRoundSolver(name string) (core.Solver, error) {
+	switch name {
+	case "greedy":
+		return core.Greedy{Kind: core.MutualWeight, WS: &core.Workspace{}}, nil
+	case "exact":
+		return core.Exact{Kind: core.MutualWeight, WS: core.NewWorkspace()}, nil
+	}
+	return core.ByName(name)
+}
+
 // runRoundSuite times an end-to-end platform round over a live Service:
 // snapshot under the state's read lock, rebuild into the previous round's
-// arenas, solve with greedy, then validate-and-commit.  No journal is
-// attached, so the entry isolates the round protocol from disk I/O.
+// arenas, solve (greedy unless cfg.RoundSolver overrides), then
+// validate-and-commit.  No journal is attached, so the entry isolates the
+// round protocol from disk I/O.
 func runRoundSuite(log io.Writer, cfg BenchConfig, scales []BenchScale, rep *BenchReport) error {
 	for _, sc := range scales {
 		in, err := benchInstance(sc, cfg.Seed)
@@ -625,7 +654,14 @@ func runRoundSuite(log io.Writer, cfg BenchConfig, scales []BenchScale, rep *Ben
 				return err
 			}
 		}
-		solver := core.Greedy{Kind: core.MutualWeight, WS: &core.Workspace{}}
+		solverName := cfg.RoundSolver
+		if solverName == "" {
+			solverName = "greedy"
+		}
+		solver, err := benchRoundSolver(solverName)
+		if err != nil {
+			return err
+		}
 		svc, err := platform.NewService(state, solver, benefit.DefaultParams(), nil, cfg.Seed)
 		if err != nil {
 			return err

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"repro/internal/benefit"
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // TestSnapshotDeltaTracksChurn pins the positional delta encoding: join a
@@ -70,6 +72,143 @@ func TestSnapshotDeltaTracksChurn(t *testing.T) {
 	if _, _, _, d := s.SnapshotDelta(); d != nil {
 		t.Fatalf("delta after reset: %+v", d)
 	}
+}
+
+// TestSnapshotDeltaConcurrentSubmit races churning Submits against a
+// SnapshotDelta loop (the CloseRound path takes its snapshot while the HTTP
+// mux keeps mutating the state) and checks every delta is internally
+// consistent with the ID lists of the PREVIOUS call: survivors map to the
+// right previous index, arrivals are exactly the -1 positions, departures
+// are exactly the previous IDs missing from the current list.  Any torn
+// read — a delta computed against a baseline other than the last returned
+// snapshot — shows up as a mapping violation.
+func TestSnapshotDeltaConcurrentSubmit(t *testing.T) {
+	const (
+		churners   = 3
+		churnIters = 300
+		snapshots  = 200
+	)
+	state := mustState(t)
+	svc, err := NewService(state, core.Greedy{Kind: core.MutualWeight, WS: &core.Workspace{}}, benefit.DefaultParams(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := svc.Submit(NewWorkerJoined(validWorker())); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Submit(NewTaskPosted(validTask())); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(g) + 11)
+			var myWorkers, myTasks []int
+			for i := 0; i < churnIters; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch rng.Intn(4) {
+				case 0:
+					if e, err := svc.Submit(NewWorkerJoined(validWorker())); err == nil {
+						myWorkers = append(myWorkers, e.Worker.ID)
+					}
+				case 1:
+					if e, err := svc.Submit(NewTaskPosted(validTask())); err == nil {
+						myTasks = append(myTasks, e.Task.ID)
+					}
+				case 2:
+					if len(myWorkers) > 0 {
+						k := rng.Intn(len(myWorkers))
+						if _, err := svc.Submit(NewWorkerLeft(myWorkers[k])); err == nil {
+							myWorkers = append(myWorkers[:k], myWorkers[k+1:]...)
+						}
+					}
+				case 3:
+					if len(myTasks) > 0 {
+						k := rng.Intn(len(myTasks))
+						if _, err := svc.Submit(NewTaskClosed(myTasks[k])); err == nil {
+							myTasks = append(myTasks[:k], myTasks[k+1:]...)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+
+	// checkDelta validates one side (workers or tasks) of the positional
+	// encoding against the previous call's sorted ID list.
+	checkDelta := func(n int, prevIDs, curIDs []int, prev, added, removed []int32) {
+		t.Helper()
+		if len(prev) != len(curIDs) {
+			t.Fatalf("snapshot %d: len(prev)=%d, len(curIDs)=%d", n, len(prev), len(curIDs))
+		}
+		ai := 0
+		usedPrev := make(map[int32]bool, len(prevIDs))
+		for j, p := range prev {
+			if p < 0 {
+				if ai >= len(added) || added[ai] != int32(j) {
+					t.Fatalf("snapshot %d: position %d is an arrival but added=%v", n, j, added)
+				}
+				ai++
+				continue
+			}
+			if int(p) >= len(prevIDs) {
+				t.Fatalf("snapshot %d: prev[%d]=%d out of range (baseline had %d)", n, j, p, len(prevIDs))
+			}
+			if prevIDs[p] != curIDs[j] {
+				t.Fatalf("snapshot %d: survivor at %d maps to previous index %d (ID %d), but current ID is %d",
+					n, j, p, prevIDs[p], curIDs[j])
+			}
+			if usedPrev[p] {
+				t.Fatalf("snapshot %d: previous index %d mapped twice", n, p)
+			}
+			usedPrev[p] = true
+		}
+		if ai != len(added) {
+			t.Fatalf("snapshot %d: %d arrivals in prev, added=%v", n, ai, added)
+		}
+		for _, r := range removed {
+			if int(r) >= len(prevIDs) {
+				t.Fatalf("snapshot %d: removed index %d out of range", n, r)
+			}
+			if usedPrev[r] {
+				t.Fatalf("snapshot %d: previous index %d both survived and was removed", n, r)
+			}
+			usedPrev[r] = true
+		}
+		if len(usedPrev) != len(prevIDs) {
+			t.Fatalf("snapshot %d: %d of %d previous indices accounted for", n, len(usedPrev), len(prevIDs))
+		}
+	}
+
+	_, prevW, prevT, d := state.SnapshotDelta()
+	if d != nil {
+		t.Fatalf("first SnapshotDelta returned a delta: %+v", d)
+	}
+	for n := 1; n < snapshots; n++ {
+		in, curW, curT, d := state.SnapshotDelta()
+		if d == nil {
+			t.Fatalf("snapshot %d returned no delta", n)
+		}
+		if in.NumWorkers() != len(curW) || in.NumTasks() != len(curT) {
+			t.Fatalf("snapshot %d: instance %d/%d entities, ID lists %d/%d",
+				n, in.NumWorkers(), in.NumTasks(), len(curW), len(curT))
+		}
+		checkDelta(n, prevW, curW, d.PrevWorker, d.AddedWorkers, d.RemovedWorkers)
+		checkDelta(n, prevT, curT, d.PrevTask, d.AddedTasks, d.RemovedTasks)
+		prevW, prevT = curW, curT
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestRoundsEndpointWarmProvenance drives POST /v1/rounds with the

@@ -33,10 +33,28 @@ import (
 // instead of queueing behind the solver, and a round that exceeds its
 // budget gets 503.  All limits live in ServerOptions.
 type Server struct {
-	svc     *Service
+	svc     Backend
 	mux     *http.ServeMux
 	opts    ServerOptions
 	closing atomic.Bool // single-flight guard on POST /v1/rounds
+}
+
+// Backend is what the HTTP layer needs from a market service.  Service (one
+// market) and ShardedService (N shard markets behind one API) both satisfy
+// it, so `mbaserve -shards N` serves the exact same routes.
+type Backend interface {
+	// Submit validates, applies and (if configured) journals one event.
+	Submit(Event) (Event, error)
+	// CloseRoundCtx closes one assignment round under a context.
+	CloseRoundCtx(context.Context) (*RoundResult, error)
+	// Counts returns live worker/task counts (global for a sharded backend).
+	Counts() (workers, tasks int)
+	// Rounds returns the committed round count.
+	Rounds() int
+	// CheckpointNow triggers an immediate checkpoint.  ok is false when
+	// checkpointing is not configured; result is the backend's own
+	// JSON-renderable report (CheckpointResult, or per-shard results).
+	CheckpointNow() (result any, ok bool, err error)
 }
 
 // ServerOptions bounds the server's resource exposure.  The zero value
@@ -66,14 +84,14 @@ func NewServerOptions() ServerOptions {
 	}
 }
 
-// NewServer wires the HTTP handlers around a service with zero-value
+// NewServer wires the HTTP handlers around a backend with zero-value
 // (unlimited) options.
-func NewServer(svc *Service) *Server {
+func NewServer(svc Backend) *Server {
 	return NewServerWithOptions(svc, ServerOptions{})
 }
 
 // NewServerWithOptions wires the HTTP handlers with explicit limits.
-func NewServerWithOptions(svc *Service, opts ServerOptions) *Server {
+func NewServerWithOptions(svc Backend, opts ServerOptions) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux(), opts: opts}
 	s.mux.HandleFunc("POST /v1/workers", s.handleAddWorker)
 	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleRemoveWorker)
@@ -188,24 +206,23 @@ func (s *Server) handleRemoveTask(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	workers, tasks := s.svc.State().Counts()
+	workers, tasks := s.svc.Counts()
 	writeJSON(w, http.StatusOK, map[string]int{
 		"workers": workers,
 		"tasks":   tasks,
-		"rounds":  s.svc.State().Rounds(),
+		"rounds":  s.svc.Rounds(),
 	})
 }
 
 // handleCheckpoint triggers an immediate snapshot + journal compaction.
-// 404 when the service has no checkpoint manager attached (serving
+// 404 when the backend has no checkpoint manager attached (serving
 // without -snapshot-dir).
 func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
-	cm := s.svc.Checkpointer()
-	if cm == nil {
+	res, ok, err := s.svc.CheckpointNow()
+	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("checkpointing not configured"))
 		return
 	}
-	res, err := cm.Checkpoint()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

@@ -57,6 +57,15 @@ type RoundResult struct {
 	// time, so its failure never fails the round.
 	Checkpointed    bool   `json:"checkpointed,omitempty"`
 	CheckpointError string `json:"checkpoint_error,omitempty"`
+	// Shards carries per-shard provenance when the round was served by a
+	// ShardedService (nil for a single-market Service), and
+	// ReconcileDropped / ReconcileRefilled count the cross-shard
+	// reconciliation churn: optimistic picks dropped because a spanning
+	// worker was over-subscribed across shards, and freed slots refilled
+	// from the owning shards' remaining edges.
+	Shards            []ShardRound `json:"shards,omitempty"`
+	ReconcileDropped  int          `json:"reconcile_dropped,omitempty"`
+	ReconcileRefilled int          `json:"reconcile_refilled,omitempty"`
 }
 
 // Service runs assignment rounds over a live State with a fixed solver and
@@ -144,6 +153,23 @@ func (s *Service) Checkpointer() *CheckpointManager {
 
 // State exposes the underlying state (read-mostly use).
 func (s *Service) State() *State { return s.state }
+
+// Counts implements Backend (live worker/task counts).
+func (s *Service) Counts() (workers, tasks int) { return s.state.Counts() }
+
+// Rounds implements Backend (committed round count).
+func (s *Service) Rounds() int { return s.state.Rounds() }
+
+// CheckpointNow implements Backend: an immediate snapshot + journal
+// compaction through the attached checkpoint manager, ok=false without one.
+func (s *Service) CheckpointNow() (any, bool, error) {
+	cm := s.Checkpointer()
+	if cm == nil {
+		return nil, false, nil
+	}
+	res, err := cm.Checkpoint()
+	return res, true, err
+}
 
 // Submit applies an event to the state and journals it.  With a journal
 // attached, the apply and the append happen atomically under the state

@@ -1,0 +1,718 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/stats"
+)
+
+// Shard bundles the resources one shard of a ShardedService owns: its own
+// State, an optional journal, its own solver instance, and an optional
+// checkpoint manager over that state.  Ownership is strict — nothing may be
+// shared between shards: states and journals because each shard is an
+// independent event-sourced market, solvers because stateful ones
+// (core.IncrementalExact, core.Degrader) carry per-market duals and reports
+// and the shards solve concurrently.
+type Shard struct {
+	State      *State
+	Journal    Journal // optional; nil disables journaling for this shard
+	Solver     core.Solver
+	Checkpoint *CheckpointManager // optional
+}
+
+// ShardedOptions tunes a ShardedService.
+type ShardedOptions struct {
+	// Parallel bounds the per-shard solve fan-out inside CloseRound; 0
+	// means GOMAXPROCS, always capped at the shard count.
+	Parallel int
+}
+
+// ShardRound is one shard's provenance inside an aggregated RoundResult:
+// the shard's market size at snapshot time, its share of the committed
+// pairs, and the same solve/checkpoint provenance Service reports for a
+// single market.
+type ShardRound struct {
+	Shard   int `json:"shard"`
+	Workers int `json:"workers"`
+	Tasks   int `json:"tasks"`
+	Pairs   int `json:"pairs"`
+	// ReconcileDropped / ReconcileRefilled are this shard's share of the
+	// cross-shard reconciliation churn: optimistic picks dropped because a
+	// spanning worker was over-subscribed, and freed slots refilled from
+	// this shard's remaining edges.
+	ReconcileDropped  int     `json:"reconcile_dropped,omitempty"`
+	ReconcileRefilled int     `json:"reconcile_refilled,omitempty"`
+	StalePairs        int     `json:"stale_pairs,omitempty"`
+	Seq               uint64  `json:"seq,omitempty"`
+	ServedBy          string  `json:"served_by,omitempty"`
+	DegradedFrom      string  `json:"degraded_from,omitempty"`
+	SolveTimedOut     bool    `json:"solve_timed_out,omitempty"`
+	WarmStarted       bool    `json:"warm_started,omitempty"`
+	DirtyFraction     float64 `json:"dirty_fraction,omitempty"`
+	FullSolveFallback bool    `json:"full_solve_fallback,omitempty"`
+	SolveError        string  `json:"solve_error,omitempty"`
+	Checkpointed      bool    `json:"checkpointed,omitempty"`
+	CheckpointError   string  `json:"checkpoint_error,omitempty"`
+}
+
+// shardRuntime is one shard plus its round-serving scratch.
+type shardRuntime struct {
+	id         int
+	state      *State
+	journal    Journal
+	solver     core.Solver
+	checkpoint *CheckpointManager
+	rng        *stats.RNG    // touched only by this shard's solve goroutine
+	prev       *core.Problem // previous round's arena; guarded by roundMu
+}
+
+// submit applies an event to this shard, journaled when a journal is
+// attached (same atomic apply+append contract as Service.Submit).
+func (sh *shardRuntime) submit(e Event) (Event, error) {
+	if sh.journal == nil {
+		return sh.state.Apply(e)
+	}
+	return sh.state.ApplyJournaled(e, sh.journal.Append)
+}
+
+// ShardedService serves one logical market partitioned into N shard
+// markets (see ShardRouter for the placement rule).  Each shard owns its
+// own State, journal and checkpoint machinery — PR 5's crash-safety story
+// applies per shard, and any single shard recovers independently and
+// byte-identically.  The service owns the global identity space: platform
+// IDs are assigned once here (starting at 1) and submitted to the target
+// shards as explicit IDs, so an entity has the same ID in every shard it is
+// resident in.
+//
+// Concurrency model: Submit serialises on the service mutex (validation is
+// done before fan-out, so multi-shard applies fail only on journal I/O, and
+// a partial failure is compensated by rolling the already-applied shards
+// back).  CloseRound, like Service, holds no service-wide lock during the
+// expensive work: each shard snapshots its own state, rebuilds into its own
+// retained problem arena and solves — fanned across a bounded worker pool —
+// then a sequential reconciliation pass resolves spanning workers, and each
+// shard commits its share (filter-live, round marker, checkpoint
+// notification).  Rounds serialise among themselves on roundMu.
+//
+// Invariant (reconciliation): the merged assignment never over-subscribes a
+// worker, even one resident in several shards, and never over-fills a task
+// (a task lives in exactly one shard, whose solver already respects its
+// replication).
+type ShardedService struct {
+	params benefit.Params
+	router ShardRouter
+	shards []*shardRuntime
+	par    int
+
+	mu           sync.Mutex
+	nextWorkerID int
+	nextTaskID   int
+	workerHome   map[int][]int // live worker ID → resident shards (sorted)
+	taskHome     map[int]int   // open task ID → owning shard
+
+	roundMu sync.Mutex // serialises CloseRound; guards every shard's prev
+
+	// repairedWorkers counts the partial multi-shard worker writes reindex
+	// converged to absent during recovery (see reindex).
+	repairedWorkers int
+}
+
+// NewShardedService wires a sharded service over per-shard resource
+// bundles.  All states must share one category universe; recovered states
+// are re-indexed into the routing tables (and cross-checked against the
+// router, which catches recovering with a different -shards than the
+// directory was written with).  seed derives every shard's RNG stream.
+func NewShardedService(shards []Shard, params benefit.Params, opts ShardedOptions, seed uint64) (*ShardedService, error) {
+	if len(shards) < 1 {
+		return nil, fmt.Errorf("platform: sharded service needs at least one shard")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	numCategories := 0
+	solverPtrs := map[uintptr]int{}
+	for k := range shards {
+		if shards[k].State == nil {
+			return nil, fmt.Errorf("platform: shard %d has nil state", k)
+		}
+		if shards[k].Solver == nil {
+			return nil, fmt.Errorf("platform: shard %d has nil solver", k)
+		}
+		if k == 0 {
+			numCategories = shards[k].State.NumCategories()
+		} else if shards[k].State.NumCategories() != numCategories {
+			return nil, fmt.Errorf("platform: shard %d has %d categories, shard 0 has %d",
+				k, shards[k].State.NumCategories(), numCategories)
+		}
+		// Stateful solvers must not be shared between concurrently solving
+		// shards; a shared pointer is almost certainly that mistake.
+		if v := reflect.ValueOf(shards[k].Solver); v.Kind() == reflect.Pointer {
+			if prev, dup := solverPtrs[v.Pointer()]; dup {
+				return nil, fmt.Errorf("platform: shards %d and %d share one solver instance", prev, k)
+			}
+			solverPtrs[v.Pointer()] = k
+		}
+	}
+
+	ss := &ShardedService{
+		params:       params,
+		router:       ShardRouter{Shards: len(shards)},
+		par:          opts.Parallel,
+		nextWorkerID: 1,
+		nextTaskID:   1,
+		workerHome:   map[int][]int{},
+		taskHome:     map[int]int{},
+	}
+	if ss.par <= 0 {
+		ss.par = runtime.GOMAXPROCS(0)
+	}
+	if ss.par > len(shards) {
+		ss.par = len(shards)
+	}
+	if ss.par < 1 {
+		ss.par = 1
+	}
+	for k := range shards {
+		journal := shards[k].Journal
+		// Typed-nil journal guard, as in NewService.
+		switch j := journal.(type) {
+		case *Log:
+			if j == nil {
+				journal = nil
+			}
+		case *SegmentedLog:
+			if j == nil {
+				journal = nil
+			}
+		}
+		ss.shards = append(ss.shards, &shardRuntime{
+			id:         k,
+			state:      shards[k].State,
+			journal:    journal,
+			solver:     shards[k].Solver,
+			checkpoint: shards[k].Checkpoint,
+			rng:        stats.NewRNG(seed + uint64(k)*0x9e3779b97f4a7c15),
+		})
+	}
+	if err := ss.reindex(); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+// reindex rebuilds the routing tables and global ID counters from the shard
+// states (the recovery path: per-shard RecoverDir, then NewShardedService).
+// Residency that contradicts the router — a worker or task in a shard the
+// router would not place it in, or a spanning worker missing from one of
+// its shards — is a hard error: it means the directory was written under a
+// different shard count.
+func (ss *ShardedService) reindex() error {
+	specialties := map[int][]int{} // worker ID → specialties (first sighting)
+	seen := map[int][]int{}        // worker ID → shards actually resident in
+	for k, sh := range ss.shards {
+		in, workerIDs, taskIDs := sh.state.Snapshot()
+		for i, wid := range workerIDs {
+			if _, ok := specialties[wid]; !ok {
+				specialties[wid] = in.Workers[i].Specialties
+			}
+			seen[wid] = append(seen[wid], k)
+		}
+		for j, tid := range taskIDs {
+			want := ss.router.TaskShard(in.Tasks[j].Category)
+			if want != k {
+				return fmt.Errorf("platform: task %d (category %d) recovered in shard %d, router places it in shard %d — shard count mismatch?",
+					tid, in.Tasks[j].Category, k, want)
+			}
+			if prev, dup := ss.taskHome[tid]; dup {
+				return fmt.Errorf("platform: task %d recovered in shards %d and %d", tid, prev, k)
+			}
+			ss.taskHome[tid] = k
+		}
+		nw, nt := sh.state.NextIDs()
+		if nw > ss.nextWorkerID {
+			ss.nextWorkerID = nw
+		}
+		if nt > ss.nextTaskID {
+			ss.nextTaskID = nt
+		}
+	}
+	// Sorted worker order keeps repair journaling deterministic.
+	wids := make([]int, 0, len(seen))
+	for wid := range seen {
+		wids = append(wids, wid)
+	}
+	sort.Ints(wids)
+	for _, wid := range wids {
+		got := seen[wid]
+		want := ss.router.WorkerShards(specialties[wid])
+		if equalIntSlices(got, want) {
+			ss.workerHome[wid] = want
+			continue
+		}
+		if !subsetIntSlice(got, want) {
+			return fmt.Errorf("platform: worker %d resident in shards %v, router places it in %v — shard count mismatch?",
+				wid, got, want)
+		}
+		// Strict subset: a crash between fan-out appends left either a torn
+		// join (prefix of the target shards written) or a torn leave (prefix
+		// removed).  Both converge to ABSENT — removing the residual copies
+		// completes the join's rollback or the leave's remainder.  The
+		// removals are journaled, so the repair is durable.
+		for _, k := range got {
+			if _, err := ss.shards[k].submit(NewWorkerLeft(wid)); err != nil {
+				return fmt.Errorf("platform: repairing partial worker %d on shard %d: %w", wid, k, err)
+			}
+		}
+		ss.repairedWorkers++
+	}
+	return nil
+}
+
+// RepairedWorkers reports how many workers reindex found resident in a
+// strict subset of their router shards — a crash between the fan-out
+// appends of a join or leave — and converged to absent during recovery.
+func (ss *ShardedService) RepairedWorkers() int { return ss.repairedWorkers }
+
+// equalIntSlices reports a == b elementwise.
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetIntSlice reports whether sorted a is a subset of sorted b.
+func subsetIntSlice(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// NumShards returns the shard count.
+func (ss *ShardedService) NumShards() int { return len(ss.shards) }
+
+// ShardState exposes shard k's state (tests, stats).
+func (ss *ShardedService) ShardState(k int) *State { return ss.shards[k].state }
+
+// Counts returns global live-entity counts (a spanning worker counts once).
+func (ss *ShardedService) Counts() (workers, tasks int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.workerHome), len(ss.taskHome)
+}
+
+// Rounds returns the service's committed round count: the minimum over
+// shards, since a failed commit can transiently leave later shards one
+// marker behind.
+func (ss *ShardedService) Rounds() int {
+	min := -1
+	for _, sh := range ss.shards {
+		if r := sh.state.Rounds(); min < 0 || r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// CheckpointNow implements Backend over Checkpoint.
+func (ss *ShardedService) CheckpointNow() (any, bool, error) {
+	results, ok, err := ss.Checkpoint()
+	return results, ok, err
+}
+
+// Checkpoint checkpoints every shard that has a manager attached and
+// returns the per-shard results.  ok reports whether any shard is
+// configured for checkpointing at all.
+func (ss *ShardedService) Checkpoint() ([]CheckpointResult, bool, error) {
+	var results []CheckpointResult
+	configured := false
+	for k, sh := range ss.shards {
+		if sh.checkpoint == nil {
+			continue
+		}
+		configured = true
+		res, err := sh.checkpoint.Checkpoint()
+		if err != nil {
+			return results, true, fmt.Errorf("platform: checkpointing shard %d: %w", k, err)
+		}
+		results = append(results, res)
+	}
+	return results, configured, nil
+}
+
+// Submit validates, routes and applies one event.  Worker events fan out to
+// every shard the worker's specialties map to; task events go to exactly
+// one shard.  The event is validated up front against the shared category
+// universe, so a multi-shard apply can only fail on journal I/O — and a
+// partial failure is compensated by undoing the shards that had already
+// applied, restoring the all-or-nothing Submit contract.  Round markers are
+// journaled by CloseRound itself and are rejected here.
+func (ss *ShardedService) Submit(e Event) (Event, error) {
+	if err := e.Validate(); err != nil {
+		return Event{}, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	switch e.Kind {
+	case EventWorkerJoined:
+		return ss.submitWorkerJoined(e)
+	case EventWorkerLeft:
+		return ss.submitWorkerLeft(e)
+	case EventTaskPosted:
+		return ss.submitTaskPosted(e)
+	case EventTaskClosed:
+		return ss.submitTaskClosed(e)
+	case EventRoundClosed:
+		return Event{}, fmt.Errorf("platform: round markers are journaled per shard by CloseRound")
+	default:
+		return Event{}, fmt.Errorf("platform: unknown event kind %q", e.Kind)
+	}
+}
+
+func (ss *ShardedService) submitWorkerJoined(e Event) (Event, error) {
+	w := *e.Worker
+	if err := validateWorkerProfile(&w, ss.shards[0].state.NumCategories()); err != nil {
+		return Event{}, err
+	}
+	prevNext := ss.nextWorkerID
+	if w.ID >= ss.nextWorkerID {
+		ss.nextWorkerID = w.ID + 1
+	} else if w.ID == 0 {
+		// nextWorkerID starts at 1, so a fresh (ID-less) event always lands
+		// here and global IDs are never 0 — which keeps compensation
+		// unambiguous (re-joining ID 0 would be re-assigned a fresh ID).
+		w.ID = ss.nextWorkerID
+		ss.nextWorkerID++
+	}
+	if _, live := ss.workerHome[w.ID]; live {
+		ss.nextWorkerID = prevNext
+		return Event{}, fmt.Errorf("platform: worker %d already live", w.ID)
+	}
+	targets := ss.router.WorkerShards(w.Specialties)
+	var applied Event
+	for i, k := range targets {
+		ev, err := ss.shards[k].submit(NewWorkerJoined(w))
+		if err != nil {
+			for _, kk := range targets[:i] {
+				if _, cerr := ss.shards[kk].submit(NewWorkerLeft(w.ID)); cerr != nil {
+					return Event{}, fmt.Errorf("platform: worker join failed on shard %d (%v) and compensation failed on shard %d: %w — shards inconsistent",
+						k, err, kk, cerr)
+				}
+			}
+			ss.nextWorkerID = prevNext
+			return Event{}, err
+		}
+		if i == 0 {
+			applied = ev
+		}
+	}
+	ss.workerHome[w.ID] = targets
+	return applied, nil
+}
+
+func (ss *ShardedService) submitWorkerLeft(e Event) (Event, error) {
+	id := *e.WorkerID
+	targets, live := ss.workerHome[id]
+	if !live {
+		return Event{}, fmt.Errorf("platform: worker %d not live", id)
+	}
+	// The profile is needed to compensate a partial removal.
+	w, ok := ss.shards[targets[0]].state.Worker(id)
+	if !ok {
+		return Event{}, fmt.Errorf("platform: worker %d in routing table but not in shard %d", id, targets[0])
+	}
+	var applied Event
+	for i, k := range targets {
+		ev, err := ss.shards[k].submit(NewWorkerLeft(id))
+		if err != nil {
+			for _, kk := range targets[:i] {
+				if _, cerr := ss.shards[kk].submit(NewWorkerJoined(w)); cerr != nil {
+					return Event{}, fmt.Errorf("platform: worker leave failed on shard %d (%v) and compensation failed on shard %d: %w — shards inconsistent",
+						k, err, kk, cerr)
+				}
+			}
+			return Event{}, err
+		}
+		if i == 0 {
+			applied = ev
+		}
+	}
+	delete(ss.workerHome, id)
+	return applied, nil
+}
+
+func (ss *ShardedService) submitTaskPosted(e Event) (Event, error) {
+	t := *e.Task
+	if err := validateTaskShape(&t, ss.shards[0].state.NumCategories()); err != nil {
+		return Event{}, err
+	}
+	prevNext := ss.nextTaskID
+	if t.ID >= ss.nextTaskID {
+		ss.nextTaskID = t.ID + 1
+	} else if t.ID == 0 {
+		t.ID = ss.nextTaskID
+		ss.nextTaskID++
+	}
+	if _, open := ss.taskHome[t.ID]; open {
+		ss.nextTaskID = prevNext
+		return Event{}, fmt.Errorf("platform: task %d already open", t.ID)
+	}
+	k := ss.router.TaskShard(t.Category)
+	ev, err := ss.shards[k].submit(NewTaskPosted(t))
+	if err != nil {
+		ss.nextTaskID = prevNext
+		return Event{}, err
+	}
+	ss.taskHome[t.ID] = k
+	return ev, nil
+}
+
+func (ss *ShardedService) submitTaskClosed(e Event) (Event, error) {
+	id := *e.TaskID
+	k, open := ss.taskHome[id]
+	if !open {
+		return Event{}, fmt.Errorf("platform: task %d not open", id)
+	}
+	ev, err := ss.shards[k].submit(NewTaskClosed(id))
+	if err != nil {
+		return Event{}, err
+	}
+	delete(ss.taskHome, id)
+	return ev, nil
+}
+
+// CloseRound is CloseRoundCtx with a background context.
+func (ss *ShardedService) CloseRound() (*RoundResult, error) {
+	return ss.CloseRoundCtx(context.Background())
+}
+
+// CloseRoundCtx closes one assignment round across every shard: fan out
+// snapshot→rebuild→solve per shard over a bounded worker pool, reconcile
+// spanning workers sequentially, then commit each shard's share (filter
+// against the live state, journal the round marker, notify the checkpoint
+// manager) and aggregate.  Cancellation before commit aborts the whole
+// round without journaling any marker; per-shard solve failures do not —
+// the shard contributes nothing, its error is recorded, and the round
+// closes everywhere (mirroring Service's solve-error policy).
+//
+// If a marker commit fails mid-way the shards before it keep their marker:
+// round counters can transiently diverge by one, which is why Rounds()
+// reports the minimum.  Entity state is untouched by markers, so a retried
+// CloseRound re-serves everyone.
+func (ss *ShardedService) CloseRoundCtx(ctx context.Context) (*RoundResult, error) {
+	ss.roundMu.Lock()
+	defer ss.roundMu.Unlock()
+
+	// Phase 1: per-shard snapshot + solve on the worker pool.
+	outs := make([]*shardSolve, len(ss.shards))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < ss.par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range idx {
+				outs[k] = ss.shards[k].solveRound(ctx, ss.params)
+			}
+		}()
+	}
+	for k := range ss.shards {
+		idx <- k
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The caller is gone; no marker for a round that served nobody.
+		return nil, err
+	}
+
+	// Phase 2: sequential cross-shard reconciliation of spanning workers.
+	dropped, refilled := reconcileShards(outs)
+
+	// Phase 3: per-shard commit, then aggregate.
+	res := &RoundResult{
+		ReconcileDropped:  dropped,
+		ReconcileRefilled: refilled,
+		Shards:            make([]ShardRound, len(ss.shards)),
+	}
+	var solveErrs []string
+	for k, out := range outs {
+		sh := ss.shards[k]
+		if out.solveErr == nil {
+			var stale int
+			out.pairs, stale = sh.state.filterLivePairs(out.pairs)
+			out.info.StalePairs = stale
+			res.StalePairs += stale
+		} else {
+			solveErrs = append(solveErrs, fmt.Sprintf("shard %d: %v", k, out.solveErr))
+			out.info.SolveError = out.solveErr.Error()
+		}
+		marker, err := sh.submit(NewRoundClosed(sh.state.Rounds()))
+		if err != nil {
+			return nil, fmt.Errorf("platform: committing round marker on shard %d: %w", k, err)
+		}
+		out.info.Seq = marker.Seq
+		if sh.checkpoint != nil {
+			took, err := sh.checkpoint.RoundClosed()
+			out.info.Checkpointed = took
+			if err != nil {
+				out.info.CheckpointError = err.Error()
+			}
+		}
+		out.info.Pairs = len(out.pairs)
+		res.Pairs = append(res.Pairs, out.pairs...)
+		res.Shards[k] = out.info
+	}
+	if len(solveErrs) > 0 {
+		res.SolveError = fmt.Sprintf("%d shard(s) failed: %s", len(solveErrs), strings.Join(solveErrs, "; "))
+	}
+	res.Round = ss.Rounds()
+	res.Metrics = ss.aggregateMetrics(outs, res.Pairs)
+	return res, nil
+}
+
+// aggregateMetrics recomputes round metrics from the merged committed
+// pairs, mirroring core.Problem.Evaluate's formulas over the union market:
+// slot coverage over the sum of open slots, Jain fairness and mean benefit
+// over every live worker (spanning workers counted once, idle ones as
+// zero).
+func (ss *ShardedService) aggregateMetrics(outs []*shardSolve, pairs []AssignmentPair) core.Metrics {
+	m := core.Metrics{
+		Algorithm: fmt.Sprintf("sharded/%d(%s)", len(ss.shards), ss.shards[0].solver.Name()),
+		Pairs:     len(pairs),
+	}
+	perWorker := map[int]float64{}
+	totalWorkers := 0
+	totalSlots := 0
+	for _, out := range outs {
+		if out.in == nil {
+			continue
+		}
+		totalSlots += out.in.TotalSlots()
+		for _, wid := range out.workerIDs {
+			if _, dup := perWorker[wid]; !dup {
+				perWorker[wid] = 0
+				totalWorkers++
+			}
+		}
+	}
+	for _, pr := range pairs {
+		m.TotalMutual += pr.Mutual
+		m.TotalQuality += pr.Quality
+		m.TotalWorker += pr.Utility
+		perWorker[pr.WorkerID] += pr.Utility
+	}
+	if totalSlots > 0 {
+		m.SlotCoverage = float64(len(pairs)) / float64(totalSlots)
+	}
+	benefits := make([]float64, 0, totalWorkers)
+	for _, b := range perWorker {
+		benefits = append(benefits, b)
+		if b > 0 {
+			m.ActiveWorkers++
+		}
+	}
+	m.WorkerJain = stats.JainIndex(benefits)
+	m.MeanWorkerBenefit = stats.Mean(benefits)
+	return m
+}
+
+// shardSolve is one shard's contribution to a round in flight: the
+// immutable snapshot it solved, the problem (retained for refill
+// candidates), and the optimistic pairs before reconciliation.
+type shardSolve struct {
+	in                 *market.Instance
+	workerIDs, taskIDs []int
+	p                  *core.Problem
+	sel                []int // selected edge indices into p.Edges, parallel to pairs
+	pairs              []AssignmentPair
+	info               ShardRound
+	solveErr           error
+}
+
+// solveRound snapshots and solves one shard (phase 1 and 2 of Service's
+// round, per shard).  It runs on the round worker pool: everything it
+// touches — the shard's state (snapshot under its own lock), rng, prev
+// arena — is owned by this shard, so shards never contend.
+func (sh *shardRuntime) solveRound(ctx context.Context, params benefit.Params) *shardSolve {
+	out := &shardSolve{}
+	out.info.Shard = sh.id
+	var delta *core.Delta
+	if _, ok := sh.solver.(core.DeltaSolver); ok {
+		out.in, out.workerIDs, out.taskIDs, delta = sh.state.SnapshotDelta()
+	} else {
+		out.in, out.workerIDs, out.taskIDs = sh.state.Snapshot()
+	}
+	out.info.Workers = len(out.workerIDs)
+	out.info.Tasks = len(out.taskIDs)
+	if out.in.NumWorkers() == 0 || out.in.NumTasks() == 0 {
+		return out
+	}
+	out.solveErr = sh.solveSnapshot(ctx, out, delta, params)
+	return out
+}
+
+// solveSnapshot is the panic-fenced rebuild+solve; it fills out.sel,
+// out.pairs and the provenance fields.
+func (sh *shardRuntime) solveSnapshot(ctx context.Context, out *shardSolve, delta *core.Delta, params benefit.Params) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			out.sel, out.pairs = nil, nil
+			err = fmt.Errorf("platform: shard %d round solve panicked: %v", sh.id, rec)
+		}
+	}()
+	p, err := core.RebuildProblem(sh.prev, out.in, params)
+	if err != nil {
+		return err
+	}
+	sh.prev = p
+	out.p = p
+	sel, _, err := core.RunDeltaCtx(ctx, p, sh.solver, delta, sh.rng.Split())
+	if rep, ok := sh.solver.(core.SolveReporter); ok {
+		last := rep.LastReport()
+		out.info.ServedBy = last.ServedBy
+		out.info.DegradedFrom = last.DegradedFrom
+		out.info.SolveTimedOut = last.SolveTimedOut
+		out.info.WarmStarted = last.WarmStarted
+		out.info.DirtyFraction = last.DirtyFraction
+		out.info.FullSolveFallback = last.FullSolveFallback
+	}
+	if err != nil {
+		return err
+	}
+	out.sel = sel
+	out.pairs = make([]AssignmentPair, len(sel))
+	for i, ei := range sel {
+		e := &p.Edges[ei]
+		out.pairs[i] = AssignmentPair{
+			WorkerID: out.workerIDs[e.W],
+			TaskID:   out.taskIDs[e.T],
+			Quality:  e.Q,
+			Utility:  e.B,
+			Mutual:   e.M,
+		}
+	}
+	return nil
+}

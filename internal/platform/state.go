@@ -67,6 +67,37 @@ func (s *State) Rounds() int {
 	return s.rounds
 }
 
+// NextIDs returns the next worker and task IDs the state would assign.  A
+// sharded service seeds its global ID counters with the max over its
+// recovered shards.
+func (s *State) NextIDs() (nextWorkerID, nextTaskID int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextWorkerID, s.nextTaskID
+}
+
+// Worker returns a deep copy of a live worker by platform ID.
+func (s *State) Worker(id int) (market.Worker, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.workers[id]
+	if !ok {
+		return market.Worker{}, false
+	}
+	w.Accuracy = append([]float64(nil), w.Accuracy...)
+	w.Interest = append([]float64(nil), w.Interest...)
+	w.Specialties = append([]int(nil), w.Specialties...)
+	return w, true
+}
+
+// Task returns a copy of an open task by platform ID.
+func (s *State) Task(id int) (market.Task, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tasks[id]
+	return t, ok
+}
+
 // Apply validates and applies one event, assigning it the next sequence
 // number.  It returns the applied event (with Seq and any platform-assigned
 // IDs filled in) so callers can append it to a log.
