@@ -23,9 +23,12 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/platform/... ./internal/bipartite/...
 
 # Fault-injection suite: ≥120 serving rounds under injected journal
-# faults, solver panics and concurrent churn, then recovery verification.
-# Deterministic under CHAOS_SEED (default 1); export a different value to
-# rotate the fault pattern.
+# faults, solver panics and concurrent churn, then recovery verification;
+# plus the replication storms — the primary killed mid-stream (response
+# cut at seeded offsets), taken away for whole poll windows, and its
+# journal poisoned under it, with the follower required to converge to
+# snapshot byte-identity every time.  Deterministic under CHAOS_SEED
+# (default 1); export a different value to rotate the fault pattern.
 chaos:
 	CHAOS_SEED=$${CHAOS_SEED:-1} $(GO) test -race -count=1 -v -run 'Chaos' ./internal/platform/...
 
@@ -52,6 +55,7 @@ benchjson:
 	$(GO) run ./cmd/mbabench -benchjson BENCH_matching.json -suites matching
 	$(GO) run ./cmd/mbabench -benchjson BENCH_incremental.json -suites incremental
 	$(GO) run ./cmd/mbabench -benchjson BENCH_sharded.json -suites sharded-round
+	$(GO) run ./cmd/mbabench -benchjson BENCH_ingest.json -suites ingest
 
 # Re-run the checked-in baselines' suites and fail on any entry that got
 # >25% slower (or meaningfully more allocation-hungry).  Run on an idle
@@ -62,3 +66,4 @@ bench-diff:
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_matching.json
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_incremental.json
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_sharded.json
+	$(GO) run ./cmd/mbabench -benchdiff BENCH_ingest.json

@@ -1,6 +1,8 @@
-// Command mbareplay replays a JSONL event journal (as written by mbaserve
-// or generated with -synthesize) into a market state, prints the resulting
-// statistics and optionally runs one assignment round over it.
+// Command mbareplay replays an event journal (as written by mbaserve or
+// generated with -synthesize) into a market state, prints the resulting
+// statistics and optionally runs one assignment round over it.  Both
+// journal encodings — JSONL and the framed binary format (.mbaj) — are
+// auto-detected per file, so mixed directories replay transparently.
 //
 // Replay is crash-tolerant by default: a torn tail (the signature of a
 // crash mid-append) is dropped and reported rather than failing the whole
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		journal    = flag.String("journal", "", "JSONL event journal to replay (a file, or a snapshot+segments directory)")
+		journal    = flag.String("journal", "", "event journal to replay, JSONL or binary (a file, or a snapshot+segments directory)")
 		categories = flag.Int("categories", 30, "category universe size")
 		assign     = flag.String("assign", "", "run one assignment round with this algorithm after replay")
 		synthesize = flag.Int("synthesize", 0, "instead of replaying, emit a synthetic trace of N events to stdout")

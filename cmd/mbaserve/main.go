@@ -1,24 +1,41 @@
 // Command mbaserve runs the live assignment service: a JSON HTTP API over
 // the event-sourced market state, journaling every mutation to an
-// append-only JSONL log that can be replayed on restart.
+// append-only log (JSONL, or the framed binary format with
+// -journal-format binary) that can be replayed on restart.
 //
 // Usage:
 //
 //	mbaserve -addr :8080 -categories 30 -solver greedy -journal market.jsonl
 //	mbaserve -snapshot-dir ./data -snapshot-every 50 -segment-bytes 4194304
 //	mbaserve -shards 8 -snapshot-dir ./data -solver incremental
+//	mbaserve -snapshot-dir ./data -journal-format binary -fsync always
+//	mbaserve -follow http://primary:8080 -snapshot-dir ./standby
 //
 // With -snapshot-dir the journal is segmented inside that directory and a
 // checkpoint (atomic CRC-checked snapshot + journal compaction) is taken
 // every -snapshot-every rounds, so restart recovery costs O(state + tail)
 // instead of replaying history from genesis.
 //
+// -journal-format selects the encoding of newly written journal streams:
+// json (one event per line, greppable) or binary (CRC32C-framed records,
+// the high-throughput choice).  Recovery auto-detects the format per
+// file, so switching flag values across restarts — a directory with mixed
+// .jsonl and .mbaj segments — replays transparently.  Appends are group-
+// committed: concurrent submits coalesce into one write + one fsync.
+//
 // With -shards N the market is partitioned into N shard markets (tasks by
 // category, workers resident in every shard of their specialties), each
 // with its own state, segmented journal and checkpoints under
-// <snapshot-dir>/shard-XXXX, solved per round with its own solver instance
-// and merged through the cross-shard reconciliation pass.  The API is
-// unchanged.  -journal (single-file mode) is incompatible with -shards.
+// <snapshot-dir>/shard-%04d (shard-0000, shard-0001, …), solved per round
+// with its own solver instance and merged through the cross-shard
+// reconciliation pass.  The API is unchanged.  -journal (single-file
+// mode) is incompatible with -shards.
+//
+// With -follow the process runs as a replication standby instead: it
+// tails the primary's journal stream (GET /v1/journal/stream), persists
+// every event into its own -snapshot-dir, and serves only GET /v1/healthz
+// (reporting replication lag).  Takeover is restarting without -follow on
+// the same directory — recovery replays the replicated journal.
 //
 // API (see internal/platform.Server):
 //
@@ -26,7 +43,10 @@
 //	DELETE /v1/workers/{id} remove a worker
 //	POST   /v1/tasks        post a task (market.Task JSON)
 //	DELETE /v1/tasks/{id}   close a task
+//	POST   /v1/batch        apply a JSON array of events all-or-nothing
 //	GET    /v1/stats        live counts
+//	GET    /v1/healthz      journal/replication health (503 when poisoned)
+//	GET    /v1/journal/stream?from=N  binary event stream for followers
 //	POST   /v1/rounds       close an assignment round (?drain=true to close
 //	                        assigned tasks afterwards)
 //	POST   /v1/checkpoint   take a checkpoint now (snapshot mode only)
@@ -34,6 +54,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -79,6 +100,71 @@ func buildSolver(name, chain string, deadline time.Duration) (core.Solver, error
 	return core.NewDegrader(deadline, stages...), nil
 }
 
+// runFollower runs the replication-standby mode: tail the primary's
+// journal stream into the local snapshot dir and serve only /v1/healthz.
+// Takeover is restarting without -follow on the same directory.
+func runFollower(primary, dir string, categories int, addr string, logOpts platform.LogOptions, segmentBytes int64, drainTimeout time.Duration) {
+	f, err := platform.NewFollower(primary, dir, platform.FollowerOptions{
+		NumCategories: categories,
+		Segment: platform.SegmentOptions{
+			MaxBytes: segmentBytes,
+			Log:      logOpts,
+		},
+	})
+	if err != nil {
+		log.Fatalf("mbaserve: %v", err)
+	}
+	log.Printf("mbaserve: following %s from seq %d", primary, f.Seq()+1)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		_ = f.Run(ctx)
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := f.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.JournalPoisoned {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if err := json.NewEncoder(w).Encode(h); err != nil {
+			log.Printf("mbaserve: healthz encode: %v", err)
+		}
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	fmt.Printf("mbaserve following %s, health on %s\n", primary, addr)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("mbaserve: %v", err)
+	case <-ctx.Done():
+		log.Printf("mbaserve: signal received, stopping replication")
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("mbaserve: shutdown: %v", err)
+	}
+	<-runDone
+	if err := f.Close(); err != nil {
+		log.Printf("mbaserve: follower journal close: %v", err)
+	}
+	log.Printf("mbaserve: follower shut down cleanly (seq %d, lag %d)", f.Seq(), f.Lag())
+}
+
 // parseFsync maps the -fsync flag to a journal policy.
 func parseFsync(v string) (platform.FsyncPolicy, error) {
 	switch v {
@@ -108,6 +194,8 @@ func main() {
 		segmentBytes  = flag.Int64("segment-bytes", platform.DefaultSegmentBytes, "seal a journal segment once it reaches this many bytes")
 		numShards     = flag.Int("shards", 1, "partition the market into N shard markets solved concurrently per round (1 = single market)")
 		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof debug handlers on this address (empty disables)")
+		journalFmt    = flag.String("journal-format", "json", "encoding for newly written journal streams: json or binary (recovery auto-detects)")
+		follow        = flag.String("follow", "", "run as a replication follower of this primary base URL (requires -snapshot-dir; serves /v1/healthz only)")
 	)
 	flag.Parse()
 	if *snapshotDir != "" && *journal != "" {
@@ -119,19 +207,41 @@ func main() {
 	if *numShards > 1 && *journal != "" {
 		log.Fatal("mbaserve: -shards needs per-shard journals; use -snapshot-dir instead of -journal")
 	}
+	if *follow != "" {
+		if *snapshotDir == "" {
+			log.Fatal("mbaserve: -follow needs -snapshot-dir for the replicated journal")
+		}
+		if *numShards > 1 || *journal != "" {
+			log.Fatal("mbaserve: -follow is incompatible with -shards and -journal")
+		}
+	}
 
 	fsync, err := parseFsync(*fsyncMode)
 	if err != nil {
 		log.Fatalf("mbaserve: %v", err)
 	}
+	format, err := platform.ParseJournalFormat(*journalFmt)
+	if err != nil {
+		log.Fatalf("mbaserve: %v", err)
+	}
 	// Bounded retry absorbs transient write blips (a failed event is
 	// rolled back, not half-remembered); fsync policy per the flag.
+	// Group commit coalesces concurrent submits into one write + fsync —
+	// the ack-means-durable contract is unchanged, only the fsync cost is
+	// shared.
 	logOpts := platform.LogOptions{
 		Fsync:        fsync,
 		MaxRetries:   3,
 		RetryBackoff: 2 * time.Millisecond,
+		Format:       format,
+		GroupCommit:  true,
 	}
 	params := benefit.Params{Lambda: *lambda, Beta: 0.5}
+
+	if *follow != "" {
+		runFollower(*follow, *snapshotDir, *categories, *addr, logOpts, *segmentBytes, *drainTimeout)
+		return
+	}
 
 	if *pprofAddr != "" {
 		// The debug endpoint gets its own mux and listener: profiling must

@@ -1,0 +1,294 @@
+package experiments
+
+// The "ingest" suite: sustained journaled event throughput through the
+// platform write path, across the encodings and batching strategies the
+// ingestion tentpole added.  Four pipelines:
+//
+//   - "json-single":   one JSONL append + (policy) fsync per event — the
+//     pre-tentpole baseline.
+//   - "binary-single":  the binary record format with the group committer
+//     on, still one caller, so the entry isolates the encoding win.
+//   - "binary-group-parallel": GOMAXPROCS goroutines appending binary
+//     records concurrently — the group committer coalesces their flushes,
+//     so this is the fsync-amortisation win for concurrent writers.
+//   - "binary-batch100": the POST /v1/batch backend path, 100 events per
+//     all-or-nothing SubmitBatch — one journal append and one fsync per
+//     hundred events.
+//
+// Every pipeline runs under FsyncNever and FsyncAlways; ns/op is per
+// *event* in all entries (events/sec = 1e9 / ns_per_op), so the
+// FsyncAlways rows are directly comparable: the ≥10× acceptance headline
+// is binary-batch100/fsync-always vs json-single/fsync-always.  Checked
+// in as BENCH_ingest.json and gated by `mbabench -benchdiff` like the
+// other suites.
+//
+// The workload is bounded churn, not unbounded growth: after an off-clock
+// seeding phase the event stream cycles join → post → leave-oldest →
+// close-oldest, so the live market keeps a constant size no matter how
+// many iterations the benchmark settles on, and removals always name
+// entities whose IDs a previous (already journaled) event assigned.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/platform"
+)
+
+// ingestSeedPool is how many workers and tasks the off-clock seeding
+// phase creates: large enough that batch-mode removals (≤25 per batch of
+// 100) never drain the pool before the batch's own joins refill it.
+const ingestSeedPool = 256
+
+// ingestScale tags the suite's entries; the workload is a stream, not a
+// fixed market, so the conventional workers/tasks columns record the
+// steady-state pool size.
+func ingestScale() BenchScale {
+	return BenchScale{Name: "stream", Workers: ingestSeedPool, Tasks: ingestSeedPool}
+}
+
+// ingestChurn generates the bounded-churn event stream.  Removals pop the
+// oldest live ID; push is called with the IDs the platform assigned so
+// prediction never enters into it.
+type ingestChurn struct {
+	templates *market.Instance
+	i         int
+	workers   []int // FIFO of live worker IDs
+	tasks     []int // FIFO of live task IDs
+}
+
+func newIngestChurn(seed uint64) (*ingestChurn, error) {
+	in, err := market.Generate(market.FreelanceTraceConfig(ingestSeedPool, ingestSeedPool), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ingestChurn{templates: in}, nil
+}
+
+func (c *ingestChurn) worker() market.Worker {
+	w := c.templates.Workers[c.i%len(c.templates.Workers)]
+	w.ID = 0 // platform-assigned
+	return w
+}
+
+func (c *ingestChurn) task() market.Task {
+	t := c.templates.Tasks[c.i%len(c.templates.Tasks)]
+	t.ID = 0
+	return t
+}
+
+// next returns the next event of the cycle.  It must be paired with
+// absorb() on the applied result so the FIFOs track real IDs.
+func (c *ingestChurn) next() platform.Event {
+	defer func() { c.i++ }()
+	switch c.i % 4 {
+	case 0:
+		return platform.NewWorkerJoined(c.worker())
+	case 1:
+		return platform.NewTaskPosted(c.task())
+	case 2:
+		id := c.workers[0]
+		c.workers = c.workers[1:]
+		return platform.NewWorkerLeft(id)
+	default:
+		id := c.tasks[0]
+		c.tasks = c.tasks[1:]
+		return platform.NewTaskClosed(id)
+	}
+}
+
+// absorb records the IDs the platform assigned to applied add events.
+func (c *ingestChurn) absorb(applied []platform.Event) {
+	for i := range applied {
+		switch {
+		case applied[i].Worker != nil:
+			c.workers = append(c.workers, applied[i].Worker.ID)
+		case applied[i].Task != nil:
+			c.tasks = append(c.tasks, applied[i].Task.ID)
+		}
+	}
+}
+
+// newIngestService opens a segmented journal in its own temp directory
+// and seeds the churn pool off-clock.
+func newIngestService(cfg BenchConfig, opts platform.LogOptions) (*platform.Service, *ingestChurn, func(), error) {
+	dir, err := os.MkdirTemp("", "mba-ingest-*")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	sl, err := platform.OpenSegmentedLog(dir, platform.SegmentOptions{
+		MaxBytes: 64 << 20,
+		Log:      opts,
+	})
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	state, err := platform.NewState(sampleCategories(cfg))
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	svc, err := platform.NewService(state, core.Greedy{Kind: core.MutualWeight, WS: &core.Workspace{}},
+		benefit.DefaultParams(), sl, cfg.Seed)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	churn, err := newIngestChurn(cfg.Seed)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	closer := func() {
+		sl.Close()
+		cleanup()
+	}
+	// Seed the removal pool so the churn cycle can never underflow.
+	var batch []platform.Event
+	for i := 0; i < ingestSeedPool; i++ {
+		batch = append(batch, platform.NewWorkerJoined(churn.worker()), platform.NewTaskPosted(churn.task()))
+	}
+	applied, err := svc.SubmitBatch(batch)
+	if err != nil {
+		closer()
+		return nil, nil, nil, err
+	}
+	churn.absorb(applied)
+	return svc, churn, closer, nil
+}
+
+// sampleCategories reads the category universe off the generated
+// workload so state and templates always agree.
+func sampleCategories(cfg BenchConfig) int {
+	in, err := market.Generate(market.FreelanceTraceConfig(8, 8), cfg.Seed)
+	if err != nil {
+		return 8
+	}
+	return in.NumCategories
+}
+
+// runIngestSuite measures the four ingestion pipelines under both fsync
+// policies.  Per-event ns/op everywhere.
+func runIngestSuite(log io.Writer, cfg BenchConfig, rep *BenchReport) error {
+	sc := ingestScale()
+	fsyncs := []struct {
+		name   string
+		policy platform.FsyncPolicy
+	}{
+		{"fsync-never", platform.FsyncNever},
+		{"fsync-always", platform.FsyncAlways},
+	}
+	type mode struct {
+		name   string
+		format platform.JournalFormat
+		group  bool
+		batch  int
+	}
+	modes := []mode{
+		{"json-single", platform.FormatJSONL, false, 1},
+		{"binary-single", platform.FormatBinary, true, 1},
+		{"binary-batch100", platform.FormatBinary, true, 100},
+	}
+	for _, fs := range fsyncs {
+		add := benchAdder(log, rep, "ingest", sc, 0)
+		for _, m := range modes {
+			opts := platform.LogOptions{Format: m.format, GroupCommit: m.group, Fsync: fs.policy}
+			svc, churn, closer, err := newIngestService(cfg, opts)
+			if err != nil {
+				return err
+			}
+			name := m.name + "/" + fs.name
+			var benchErr error
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				if m.batch <= 1 {
+					for i := 0; i < b.N; i++ {
+						applied, err := svc.Submit(churn.next())
+						if err != nil {
+							benchErr = err
+							b.Fatal(err)
+						}
+						churn.absorb([]platform.Event{applied})
+					}
+					return
+				}
+				pending := make([]platform.Event, 0, m.batch)
+				flush := func() {
+					applied, err := svc.SubmitBatch(pending)
+					if err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+					churn.absorb(applied)
+					pending = pending[:0]
+				}
+				for i := 0; i < b.N; i++ {
+					pending = append(pending, churn.next())
+					if len(pending) == m.batch {
+						flush()
+					}
+				}
+				if len(pending) > 0 {
+					flush()
+				}
+			})
+			closer()
+			if benchErr != nil {
+				return fmt.Errorf("experiments: ingest %s: %w", name, benchErr)
+			}
+			add(name, br)
+		}
+
+		// Concurrent appenders against the journal itself: the group
+		// committer folds concurrent writers into shared flushes, which is
+		// where group commit (as opposed to batching) pays off.  Pinned to
+		// 8 appender goroutines per processor so the entry measures
+		// coalescing even on single-CPU runners.
+		dir, err := os.MkdirTemp("", "mba-ingest-*")
+		if err != nil {
+			return err
+		}
+		sl, err := platform.OpenSegmentedLog(dir, platform.SegmentOptions{
+			MaxBytes: 64 << 20,
+			Log:      platform.LogOptions{Format: platform.FormatBinary, GroupCommit: true, Fsync: fs.policy},
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		churn, err := newIngestChurn(cfg.Seed)
+		if err != nil {
+			sl.Close()
+			os.RemoveAll(dir)
+			return err
+		}
+		ev := platform.NewWorkerJoined(churn.worker()) // Seq 0: order-free append
+		var benchErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := sl.Append(ev); err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+		sl.Close()
+		os.RemoveAll(dir)
+		if benchErr != nil {
+			return fmt.Errorf("experiments: ingest binary-group-parallel/%s: %w", fs.name, benchErr)
+		}
+		add("binary-group-parallel/"+fs.name, br)
+	}
+	return nil
+}

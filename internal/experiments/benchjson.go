@@ -23,6 +23,11 @@ package experiments
 //     churn batches through carried duals.  Checked in as
 //     BENCH_incremental.json; the ≥10× warm-vs-cold headline lives in the
 //     "lg" rows.
+//   - "ingest": sustained journaled event throughput across the ingestion
+//     pipelines — JSONL single-event, binary single-event, concurrent
+//     binary group-commit, and 100-event batches — under both fsync
+//     policies.  Checked in as BENCH_ingest.json; the ≥10× headline is
+//     binary-batch100 vs json-single under fsync-always.
 //
 // "solve" and "round" are checked in together as BENCH_solve.json.  Future
 // PRs compare a fresh run against the checked-in baselines (`mbabench
@@ -54,7 +59,7 @@ const benchExactEdgeBudget = 60000
 
 // BenchSuites lists the suites RunBenchJSON knows, in canonical order.
 func BenchSuites() []string {
-	return []string{"construction", "solve", "round", "matching", "incremental", "sharded-round"}
+	return []string{"construction", "solve", "round", "matching", "incremental", "sharded-round", "ingest"}
 }
 
 // BenchScale is one market size of the regression harness.
@@ -170,6 +175,8 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 			err = runIncrementalSuite(log, cfg, rep)
 		case "sharded-round":
 			err = runShardedRoundSuite(log, cfg, rep)
+		case "ingest":
+			err = runIngestSuite(log, cfg, rep)
 		default:
 			err = fmt.Errorf("experiments: unknown bench suite %q (have %v)", suite, BenchSuites())
 		}

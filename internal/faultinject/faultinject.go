@@ -122,6 +122,49 @@ func (f *FlakyWriter) Ops() int {
 	return f.ops
 }
 
+// CutWriter passes writes through until n total bytes have been
+// delivered, then cuts the connection: the violating write delivers only
+// the bytes that fit under the limit before failing, and every later
+// write fails outright.  It is the torn-network-stream stand-in for
+// replication tests — a response body that ends mid-record because the
+// primary died.  Safe for concurrent use.
+type CutWriter struct {
+	mu        sync.Mutex
+	w         io.Writer
+	remaining int64
+	cut       bool
+}
+
+// NewCutWriter cuts w after n bytes.
+func NewCutWriter(w io.Writer, n int64) *CutWriter {
+	return &CutWriter{w: w, remaining: n}
+}
+
+// Write implements io.Writer.
+func (c *CutWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cut {
+		return 0, fmt.Errorf("faultinject: write after cut: %w", ErrInjected)
+	}
+	if int64(len(p)) <= c.remaining {
+		n, err := c.w.Write(p)
+		c.remaining -= int64(n)
+		return n, err
+	}
+	c.cut = true
+	n, _ := c.w.Write(p[:c.remaining])
+	c.remaining = 0
+	return n, fmt.Errorf("faultinject: stream cut after %d/%d bytes: %w", n, len(p), ErrInjected)
+}
+
+// Cut reports whether the stream has been severed.
+func (c *CutWriter) Cut() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut
+}
+
 // SlowWriter delays every write by Delay before delegating — the
 // disk-under-pressure simulation for journal-latency tests.
 type SlowWriter struct {

@@ -1,0 +1,207 @@
+package platform
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Follower tails a primary's journal over HTTP (GET /v1/journal/stream)
+// and persists every event into its own segment directory before
+// applying it — the standby half of primary→follower replication.  The
+// local directory is a normal journal: takeover is simply RecoverDir on
+// it (plus starting a Service), and because the follower only ever
+// applies events it has already journaled, the recovered state equals
+// the followed state exactly.
+//
+// Consistency model: the primary serves only committed bytes (a group
+// flush that may still fail is never streamed — see
+// SegmentedLog.EventsSince), the follower verifies per-event contiguity
+// (seq == local seq + 1) and treats a torn stream as a retriable partial
+// read, keeping the valid prefix it already applied.  The follower can
+// therefore lag but never diverge.
+type FollowerOptions struct {
+	// NumCategories is the market's category universe (must match the
+	// primary's).
+	NumCategories int
+	// Segment configures the follower's local journal (format, fsync,
+	// rotation).  The follower mirrors events, not bytes: its segment
+	// boundaries and encoding may differ from the primary's, recovery
+	// equivalence is at the event level.
+	Segment SegmentOptions
+	// Client performs the HTTP requests; nil means a fresh default client.
+	Client *http.Client
+	// PollInterval is the idle re-poll delay in Run; 0 means 200ms.
+	PollInterval time.Duration
+}
+
+type Follower struct {
+	primary string // primary's base URL, no trailing slash
+	opts    FollowerOptions
+	client  *http.Client
+	state   *State
+	seg     *SegmentedLog
+	// primarySeq is the primary's last committed sequence as of the
+	// latest successful poll (from the stream response header).
+	primarySeq atomic.Uint64
+}
+
+// NewFollower recovers (or creates) the follower's local journal
+// directory and prepares to tail the primary.  Call SyncOnce / Run to
+// start pulling.
+func NewFollower(primaryURL, dir string, opts FollowerOptions) (*Follower, error) {
+	if opts.NumCategories <= 0 {
+		return nil, fmt.Errorf("platform: follower needs the category count")
+	}
+	state, _, err := RecoverDir(dir, opts.NumCategories)
+	if err != nil {
+		return nil, fmt.Errorf("platform: recovering follower dir: %w", err)
+	}
+	seg, err := OpenSegmentedLog(dir, opts.Segment)
+	if err != nil {
+		return nil, fmt.Errorf("platform: opening follower journal: %w", err)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	f := &Follower{
+		primary: primaryURL,
+		opts:    opts,
+		client:  client,
+		state:   state,
+		seg:     seg,
+	}
+	return f, nil
+}
+
+// State exposes the follower's replica state (read-only use; mutating it
+// outside the replication path would diverge from the primary).
+func (f *Follower) State() *State { return f.state }
+
+// Seq is the follower's last applied sequence.
+func (f *Follower) Seq() uint64 { return f.state.Seq() }
+
+// PrimarySeq is the primary's last committed sequence as of the latest
+// successful poll (0 before the first contact).
+func (f *Follower) PrimarySeq() uint64 { return f.primarySeq.Load() }
+
+// Lag is how many events behind the primary the follower was at the
+// latest poll.
+func (f *Follower) Lag() uint64 {
+	p, s := f.PrimarySeq(), f.Seq()
+	if p > s {
+		return p - s
+	}
+	return 0
+}
+
+// Health implements HealthReporter for a follower process.
+func (f *Follower) Health() HealthStatus {
+	workers, tasks := f.state.Counts()
+	h := HealthStatus{
+		Role:            "follower",
+		LastSeq:         f.Seq(),
+		JournalPoisoned: f.seg.Poisoned(),
+		Workers:         workers,
+		Tasks:           tasks,
+		Rounds:          f.state.Rounds(),
+		PrimarySeq:      f.PrimarySeq(),
+		ReplicationLag:  f.Lag(),
+	}
+	h.Status = "ok"
+	if h.JournalPoisoned {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// Close seals the follower's local journal.
+func (f *Follower) Close() error { return f.seg.Close() }
+
+// SyncOnce pulls one stream from the primary and applies it: journal
+// first, then state, per event.  It returns how many events were applied.
+// A torn or interrupted stream is not fatal — the applied prefix is kept
+// and the next SyncOnce re-requests from the new position; the error
+// reports why the stream ended early.
+func (f *Follower) SyncOnce(ctx context.Context) (int, error) {
+	from := f.Seq() + 1
+	url := fmt.Sprintf("%s/v1/journal/stream?from=%d", f.primary, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("platform: polling primary: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("platform: primary stream returned %d: %s", resp.StatusCode, msg)
+	}
+	if h := resp.Header.Get(JournalLastSeqHeader); h != "" {
+		if v, err := strconv.ParseUint(h, 10, 64); err == nil {
+			f.primarySeq.Store(v)
+		}
+	}
+	br := bufio.NewReaderSize(resp.Body, 64*1024)
+	var magic [len(binaryLogMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != binaryLogMagic {
+		return 0, fmt.Errorf("platform: bad stream header from primary")
+	}
+	applied := 0
+	for {
+		e, _, err := readBinaryRecord(br)
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			// Torn stream (primary died mid-response, connection cut): the
+			// prefix is applied and durable, just report and let the caller
+			// re-poll.
+			return applied, fmt.Errorf("platform: stream ended mid-record after %d events: %w", applied, err)
+		}
+		if err := e.Validate(); err != nil {
+			return applied, fmt.Errorf("platform: primary streamed invalid event: %w", err)
+		}
+		if e.Seq <= f.state.Seq() {
+			continue // duplicate of something already replicated
+		}
+		if want := f.state.Seq() + 1; e.Seq != want {
+			return applied, fmt.Errorf("platform: stream gap: got seq %d, want %d", e.Seq, want)
+		}
+		if _, err := f.state.ApplyJournaled(e, f.seg.Append); err != nil {
+			return applied, fmt.Errorf("platform: applying replicated event %d: %w", e.Seq, err)
+		}
+		applied++
+	}
+}
+
+// Run polls the primary until ctx is cancelled.  Transient errors
+// (primary restarting, torn streams) are absorbed: the follower keeps
+// its applied prefix and retries after the poll interval.
+func (f *Follower) Run(ctx context.Context) error {
+	poll := f.opts.PollInterval
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		n, err := f.SyncOnce(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if n == 0 || err != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+		}
+	}
+}

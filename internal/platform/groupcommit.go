@@ -1,0 +1,122 @@
+package platform
+
+import (
+	"sync"
+	"time"
+)
+
+// committer is the group-commit engine behind LogOptions.GroupCommit: a
+// single goroutine that drains concurrently queued record buffers into
+// one contiguous write + one fsync.  The caller's Append stays
+// synchronous — commit() blocks until its bytes are durable (or the flush
+// failed) — so the ack-means-durable contract is exactly the synchronous
+// path's; only the fsync cost is amortised across whoever queued in the
+// same window.
+//
+// Failure semantics: every request coalesced into a failing flush gets
+// the same error, and the Log poisons exactly as a synchronous torn write
+// would.  Requests already queued behind a poisoned log are answered
+// ErrLogPoisoned without touching the writer, which is what makes
+// SegmentedLog's heal (truncate to Log.committedBytes) safe to run as
+// soon as any caller observes the poisoning.
+type committer struct {
+	l *Log
+
+	mu     sync.Mutex
+	closed bool
+	reqs   chan commitReq
+
+	exited chan struct{}
+
+	maxBatch int
+	maxDelay time.Duration
+}
+
+type commitReq struct {
+	buf  []byte
+	done chan error
+}
+
+func newCommitter(l *Log) *committer {
+	maxBatch := l.opts.GroupMaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 128
+	}
+	maxDelay := l.opts.GroupWindow
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	c := &committer{
+		l:        l,
+		reqs:     make(chan commitReq, maxBatch),
+		exited:   make(chan struct{}),
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+	}
+	go c.run()
+	return c
+}
+
+// commit queues buf and blocks until the flush that absorbed it reports.
+func (c *committer) commit(buf []byte) error {
+	req := commitReq{buf: buf, done: make(chan error, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrLogClosed
+	}
+	c.reqs <- req
+	c.mu.Unlock()
+	return <-req.done
+}
+
+// stop closes the queue and waits for the worker to flush what it already
+// accepted.  Idempotent.
+func (c *committer) stop() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.reqs)
+	}
+	c.mu.Unlock()
+	<-c.exited
+}
+
+// run is the committer goroutine: take one request, then drain whatever
+// else is already queued (bounded by maxBatch records and maxDelay of
+// draining — never waiting idly: an empty queue flushes immediately, so
+// the only latency a lone Append pays is the write+fsync itself).
+func (c *committer) run() {
+	defer close(c.exited)
+	var buf []byte
+	batch := make([]commitReq, 0, c.maxBatch)
+	for req := range c.reqs {
+		batch = append(batch[:0], req)
+		buf = append(buf[:0], req.buf...)
+		deadline := time.Now().Add(c.maxDelay)
+	drain:
+		for len(batch) < c.maxBatch && time.Now().Before(deadline) {
+			select {
+			case more, ok := <-c.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+				buf = append(buf, more.buf...)
+			default:
+				break drain
+			}
+		}
+		var err error
+		if c.l.Poisoned() {
+			// A previous flush tore the stream; nothing more may be
+			// written after the corruption point.
+			err = ErrLogPoisoned
+		} else {
+			err = c.l.commitBytes(buf)
+		}
+		for _, r := range batch {
+			r.done <- err
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package platform
+
+// Health reporting for GET /v1/healthz: enough signal for an operator (or
+// a standby's takeover script) to decide whether this process is serving
+// safely — is the journal still appendable, how far has the event stream
+// progressed, and, on a follower, how far behind the primary it runs.
+
+// ShardHealth is one shard's slice of a sharded backend's health.
+type ShardHealth struct {
+	Shard           int    `json:"shard"`
+	LastSeq         uint64 `json:"last_seq"`
+	JournalPoisoned bool   `json:"journal_poisoned"`
+}
+
+// HealthStatus is the /v1/healthz payload.
+type HealthStatus struct {
+	// Status is "ok" or "degraded" (a poisoned journal: reads and rounds
+	// still serve, ingestion is refused).
+	Status string `json:"status"`
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// LastSeq is the last committed sequence number (max across shards
+	// for a sharded backend).
+	LastSeq         uint64 `json:"last_seq"`
+	JournalPoisoned bool   `json:"journal_poisoned"`
+	Workers         int    `json:"workers"`
+	Tasks           int    `json:"tasks"`
+	Rounds          int    `json:"rounds"`
+	// Shards carries per-shard detail for a sharded backend.
+	Shards []ShardHealth `json:"shards,omitempty"`
+	// PrimarySeq and ReplicationLag are follower-only: the primary's last
+	// committed sequence as of the latest poll, and how many events behind
+	// it this follower's state is.
+	PrimarySeq     uint64 `json:"primary_seq,omitempty"`
+	ReplicationLag uint64 `json:"replication_lag,omitempty"`
+}
+
+// journalPoisoned asks a journal whether it can still append; journals
+// that don't report (or nil) count as healthy.
+func journalPoisoned(j Journal) bool {
+	p, ok := j.(interface{ Poisoned() bool })
+	return ok && p.Poisoned()
+}
+
+// Health implements HealthReporter for the single-market service.
+func (s *Service) Health() HealthStatus {
+	workers, tasks := s.state.Counts()
+	h := HealthStatus{
+		Role:            "primary",
+		LastSeq:         s.state.Seq(),
+		JournalPoisoned: journalPoisoned(s.journal),
+		Workers:         workers,
+		Tasks:           tasks,
+		Rounds:          s.state.Rounds(),
+	}
+	h.Status = "ok"
+	if h.JournalPoisoned {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// Health implements HealthReporter for the sharded service.  LastSeq is
+// the max across shards (shards journal independently); the overall
+// status degrades if any shard's journal is poisoned.
+func (ss *ShardedService) Health() HealthStatus {
+	h := HealthStatus{Role: "primary", Status: "ok"}
+	for i, rt := range ss.shards {
+		sh := ShardHealth{
+			Shard:           i,
+			LastSeq:         rt.state.Seq(),
+			JournalPoisoned: journalPoisoned(rt.journal),
+		}
+		if sh.LastSeq > h.LastSeq {
+			h.LastSeq = sh.LastSeq
+		}
+		if sh.JournalPoisoned {
+			h.JournalPoisoned = true
+			h.Status = "degraded"
+		}
+		h.Shards = append(h.Shards, sh)
+	}
+	h.Workers, h.Tasks = ss.Counts()
+	h.Rounds = ss.Rounds()
+	return h
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,6 +18,16 @@ import (
 // implementations see events in strictly increasing sequence order.
 type Journal interface {
 	Append(e Event) error
+}
+
+// BatchJournal is a Journal that can land a whole batch of events as one
+// contiguous append — one write, and under FsyncAlways one fsync.  *Log
+// and *SegmentedLog both implement it; the batch ingest path requires it
+// (falling back to per-event appends would silently break the batch's
+// all-or-nothing durability).
+type BatchJournal interface {
+	Journal
+	AppendBatch(events []Event) error
 }
 
 // FsyncPolicy selects how hard Append pushes a line toward stable storage.
@@ -51,6 +62,24 @@ type LogOptions struct {
 	// that don't forward Sync.  Nil falls back to asserting Sync on the
 	// writer itself.
 	Syncer interface{ Sync() error }
+	// Format selects the encoding of newly written streams (binlog.go).
+	// Readers ignore it: format is detected per stream.  Reopening an
+	// existing stream keeps the on-disk format regardless of this field —
+	// a stream never mixes encodings (directories may, per segment).
+	Format JournalFormat
+	// GroupCommit runs Appends through a committer goroutine that
+	// coalesces concurrent calls into one write + one fsync
+	// (groupcommit.go).  Append stays synchronous for the caller and the
+	// poisoning contract is unchanged; a Log with group commit enabled
+	// must be Closed to stop the goroutine.
+	GroupCommit bool
+	// GroupMaxBatch caps how many pending appends one flush absorbs; 0
+	// means 128.
+	GroupMaxBatch int
+	// GroupWindow bounds how long the committer keeps draining newly
+	// arriving appends into the current flush; 0 means 2ms.  It is a cap,
+	// not a delay: a lone Append flushes immediately.
+	GroupWindow time.Duration
 }
 
 // ErrLogPoisoned marks a journal that failed partway through a line.  All
@@ -65,53 +94,169 @@ var ErrLogPoisoned = errors.New("platform: journal poisoned by a partial line wr
 // (*os.File implements it).
 type syncer interface{ Sync() error }
 
-// Log is an append-only JSONL event log.  One event per line keeps the
-// format greppable, streamable and recoverable: a torn final line (crash
-// mid-write) is detected and reported with its offset rather than silently
+// ErrLogClosed is returned by Append on a Log whose group committer has
+// been stopped (Close, or SegmentedLog sealing the segment out from under
+// a racing caller — that path retries on the fresh segment).
+var ErrLogClosed = errors.New("platform: log closed")
+
+// Log is an append-only event log, JSONL (the seed format) or framed
+// binary (binlog.go).  Either way a torn final record (crash mid-write)
+// is detected and reported with its offset rather than silently
 // corrupting a replay.
 //
-// Log methods are not safe for concurrent use; the platform serialises
-// Appends under the state mutex (State.ApplyJournaled), which is also what
-// keeps journal order identical to sequence order.
+// Without group commit, Log methods are not safe for concurrent use; the
+// platform serialises Appends under the state mutex (State.ApplyJournaled),
+// which is also what keeps journal order identical to sequence order.
+// With GroupCommit enabled, Append and AppendBatch may be called
+// concurrently — the committer serialises the writes.
 type Log struct {
-	w        io.Writer
-	opts     LogOptions
-	poisoned bool
+	w    io.Writer
+	opts LogOptions
+	// format is the stream's actual encoding — opts.Format for a fresh
+	// stream, the detected format when reopening existing bytes.
+	format JournalFormat
+	// headerPending is true while a binary stream still owes its magic;
+	// it is fused into the first commit so an empty file never holds a
+	// bare header that a torn first record would strand.
+	headerPending bool
+	// committed counts bytes of fully-successful commits (magic included).
+	// Only the committing goroutine advances it; SegmentedLog reads it
+	// concurrently — after a failed commit to find the truncation point
+	// that removes every byte of the failed flush, and while streaming the
+	// active segment to bound reads to never-truncated bytes.
+	committed atomic.Int64
+	poisoned  atomic.Bool
+	gc        *committer
 }
 
 // NewLog starts appending to w with zero-value options.  The caller owns
 // w's lifecycle (file, buffer, network); Log never closes it.
-func NewLog(w io.Writer) *Log { return &Log{w: w} }
+func NewLog(w io.Writer) *Log { return NewLogWithOptions(w, LogOptions{}) }
 
 // NewLogWithOptions starts appending to w under the given durability
-// options.
+// options, assuming a fresh (empty) stream.
 func NewLogWithOptions(w io.Writer, opts LogOptions) *Log {
-	return &Log{w: w, opts: opts}
+	return newLogAt(w, opts, opts.Format, false)
 }
 
-// Poisoned reports whether a partial-line failure has made the journal
-// unappendable (see ErrLogPoisoned).
-func (l *Log) Poisoned() bool { return l.poisoned }
+// newLogAt builds a Log over a stream whose format is already decided —
+// opts.Format for fresh streams, the detected on-disk format when
+// reopening.  headerWritten says whether a binary stream's magic is
+// already durable.
+func newLogAt(w io.Writer, opts LogOptions, format JournalFormat, headerWritten bool) *Log {
+	l := &Log{
+		w:             w,
+		opts:          opts,
+		format:        format,
+		headerPending: format == FormatBinary && !headerWritten,
+	}
+	if opts.GroupCommit {
+		l.gc = newCommitter(l)
+	}
+	return l
+}
 
-// Append writes one event as a JSON line, retrying transient write
-// failures on the unwritten suffix and fsyncing per the policy.  An error
-// return means the line is NOT durably in the log: either nothing of it
-// was written (retryable — the log stays line-aligned) or it is torn
-// mid-line, in which case the log is poisoned and says so.
+// Poisoned reports whether a partial-record failure has made the journal
+// unappendable (see ErrLogPoisoned).
+func (l *Log) Poisoned() bool { return l.poisoned.Load() }
+
+// Close stops the group-commit worker, flushing whatever it already
+// accepted.  The underlying writer stays open (the caller owns it); a Log
+// without group commit has nothing to stop and Close is a no-op.  Appends
+// after Close return ErrLogClosed.
+func (l *Log) Close() error {
+	if l.gc != nil {
+		l.gc.stop()
+	}
+	return nil
+}
+
+// encodeRecord appends e's on-disk encoding (one JSON line or one binary
+// frame) to dst.
+func (l *Log) encodeRecord(dst []byte, e *Event) ([]byte, error) {
+	if l.format == FormatBinary {
+		return appendBinaryRecord(dst, e)
+	}
+	line, err := e.MarshalJSONL()
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, line...), nil
+}
+
+// Append writes one event, retrying transient write failures on the
+// unwritten suffix and fsyncing per the policy.  An error return means
+// the record is NOT durably in the log: either nothing of it was written
+// (retryable — the log stays record-aligned) or the log is poisoned.  A
+// poisoned group-commit log may hold whole records of the failed flush
+// (other callers' as well as this one's) past the last committed offset;
+// every caller in that flush got the error, and SegmentedLog heals by
+// truncating to the committed offset so memory and disk agree.
 func (l *Log) Append(e Event) error {
-	if l.poisoned {
+	if l.Poisoned() {
 		return ErrLogPoisoned
 	}
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	line, err := e.MarshalJSONL()
+	rec, err := l.encodeRecord(nil, &e)
 	if err != nil {
 		return err
 	}
-	if err := l.write(line); err != nil {
+	if l.gc != nil {
+		return l.gc.commit(rec)
+	}
+	return l.commitBytes(rec)
+}
+
+// AppendBatch writes events as one contiguous run of records with a
+// single write and (under FsyncAlways) a single fsync — the journal half
+// of the all-or-nothing batch ingest path.  On error nothing of the batch
+// is durably in the log under the same rules as Append.
+func (l *Log) AppendBatch(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if l.Poisoned() {
+		return ErrLogPoisoned
+	}
+	var buf []byte
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return fmt.Errorf("platform: batch event %d: %w", i, err)
+		}
+		var err error
+		if buf, err = l.encodeRecord(buf, &events[i]); err != nil {
+			return fmt.Errorf("platform: batch event %d: %w", i, err)
+		}
+	}
+	if l.gc != nil {
+		return l.gc.commit(buf)
+	}
+	return l.commitBytes(buf)
+}
+
+// committedBytes is the stream offset after the last fully-successful
+// commit — the heal target after a failed group flush.  Callers must
+// order the read after the failing commit's reply (SegmentedLog does, via
+// the committer's done channel).
+func (l *Log) committedBytes() int64 { return l.committed.Load() }
+
+// commitBytes is the single point where encoded records reach the writer:
+// one write (with the stream magic fused in front when still owed), then
+// one fsync per the policy.  Called by Append/AppendBatch directly, or by
+// the committer goroutine on coalesced buffers.
+func (l *Log) commitBytes(buf []byte) error {
+	if l.headerPending {
+		withMagic := make([]byte, 0, len(binaryLogMagic)+len(buf))
+		withMagic = append(withMagic, binaryLogMagic...)
+		buf = append(withMagic, buf...)
+	}
+	if err := l.write(buf); err != nil {
 		return err
 	}
+	l.headerPending = false
+	l.committed.Add(int64(len(buf)))
 	if l.opts.Fsync == FsyncAlways {
 		s := l.opts.Syncer
 		if s == nil {
@@ -119,9 +264,9 @@ func (l *Log) Append(e Event) error {
 		}
 		if s != nil {
 			if err := s.Sync(); err != nil {
-				// The line may or may not have reached the platter; assume
+				// The record may or may not have reached the platter; assume
 				// the worst so recovery semantics stay conservative.
-				l.poisoned = true
+				l.poisoned.Store(true)
 				return fmt.Errorf("platform: fsyncing log: %w", err)
 			}
 		}
@@ -148,7 +293,7 @@ func (l *Log) write(line []byte) error {
 		}
 		if attempt >= l.opts.MaxRetries {
 			if n > 0 {
-				l.poisoned = true
+				l.poisoned.Store(true)
 				return fmt.Errorf("platform: appending to log: %w (wrote %d/%d bytes; journal poisoned)", err, n, len(line))
 			}
 			return fmt.Errorf("platform: appending to log: %w", err)
@@ -158,12 +303,41 @@ func (l *Log) write(line []byte) error {
 	}
 }
 
-// ReadLog parses a JSONL event stream.  Every event is validated; sequence
-// numbers must be strictly increasing (gaps are allowed — a compacted log
-// keeps original numbering).
+// sniffBinaryLog peeks the stream head and classifies it: a full magic
+// means binary (the magic is consumed), anything else starting with 'M'
+// is a torn or foreign binary header (JSONL lines begin '{' or are blank,
+// never 'M'), the rest is JSONL.
+func sniffBinaryLog(br *bufio.Reader) (isBinary bool, headErr error) {
+	head, _ := br.Peek(len(binaryLogMagic))
+	if len(head) == 0 || head[0] != binaryLogMagic[0] {
+		return false, nil
+	}
+	if len(head) == len(binaryLogMagic) && string(head) == binaryLogMagic {
+		_, _ = br.Discard(len(binaryLogMagic))
+		return true, nil
+	}
+	return true, recordCorrupt("torn or foreign binary journal header")
+}
+
+// ReadLog parses an event stream, auto-detecting JSONL vs binary framing
+// by the stream head.  Every event is validated; sequence numbers must be
+// strictly increasing (gaps are allowed — a compacted log keeps original
+// numbering).  Unlike the partial readers, any defect — including a torn
+// tail — is an error.
 func ReadLog(r io.Reader) ([]Event, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	if isBinary, headErr := sniffBinaryLog(br); isBinary {
+		if headErr != nil {
+			return nil, headErr
+		}
+		events, _, dropped := readBinaryLogPartial(br)
+		if dropped != nil {
+			return nil, dropped
+		}
+		return events, nil
+	}
 	var events []Event
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	lineNo := 0
 	var lastSeq uint64
@@ -223,7 +397,30 @@ func ReadLogPartial(r io.Reader) (events []Event, dropped error) {
 // even when its bytes happen to parse: accepting it while truncation (or
 // a later append) destroys it would let memory and disk disagree.
 func readLogPartialOffset(r io.Reader) (events []Event, validBytes int64, dropped error) {
+	events, validBytes, _, dropped = readLogPartialDetect(r)
+	return events, validBytes, dropped
+}
+
+// readLogPartialDetect is readLogPartialOffset plus the detected stream
+// format — JSONL and binary segments recover through the same code path,
+// which is what lets a directory mix formats transparently.  For a valid
+// binary stream validBytes includes the 8-byte magic; a stream that opens
+// with a torn or foreign binary header recovers zero bytes (nothing
+// behind an unverifiable header is trustworthy).
+func readLogPartialDetect(r io.Reader) (events []Event, validBytes int64, format JournalFormat, dropped error) {
 	br := bufio.NewReaderSize(r, 64*1024)
+	if isBinary, headErr := sniffBinaryLog(br); isBinary {
+		if headErr != nil {
+			return nil, 0, FormatBinary, fmt.Errorf("platform: %w: recovered 0 events", headErr)
+		}
+		events, consumed, dropped := readBinaryLogPartial(br)
+		return events, int64(len(binaryLogMagic)) + consumed, FormatBinary, dropped
+	}
+	events, validBytes, dropped = readJSONLPartialOffset(br)
+	return events, validBytes, FormatJSONL, dropped
+}
+
+func readJSONLPartialOffset(br *bufio.Reader) (events []Event, validBytes int64, dropped error) {
 	lineNo := 0
 	var lastSeq uint64
 	for {
@@ -294,19 +491,25 @@ type JournalFile struct {
 // silently drop them.
 func OpenJournal(path string, numCategories int, opts LogOptions) (*JournalFile, error) {
 	jf := &JournalFile{}
+	// A fresh journal is written in the requested format; an existing one
+	// keeps its on-disk format so a stream never mixes encodings.
+	format, headerWritten := opts.Format, false
 	if f, err := os.Open(path); err == nil {
 		fi, statErr := f.Stat()
 		if statErr != nil {
 			f.Close()
 			return nil, fmt.Errorf("platform: stating journal: %w", statErr)
 		}
-		events, valid, dropped := readLogPartialOffset(f)
+		events, valid, detected, dropped := readLogPartialDetect(f)
 		f.Close()
 		state, replayErr := Replay(numCategories, events)
 		if replayErr != nil {
 			return nil, replayErr
 		}
 		jf.State, jf.Dropped = state, dropped
+		if valid > 0 {
+			format, headerWritten = detected, detected == FormatBinary
+		}
 		if valid < fi.Size() {
 			if err := os.Truncate(path, valid); err != nil {
 				return nil, fmt.Errorf("platform: truncating torn journal tail: %w", err)
@@ -328,6 +531,6 @@ func OpenJournal(path string, numCategories int, opts LogOptions) (*JournalFile,
 		return nil, fmt.Errorf("platform: opening journal for append: %w", err)
 	}
 	jf.File = f
-	jf.Log = NewLogWithOptions(f, opts)
+	jf.Log = newLogAt(f, opts, format, headerWritten)
 	return jf, nil
 }

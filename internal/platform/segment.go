@@ -1,24 +1,34 @@
 package platform
 
 // SegmentedLog rotates the append-only journal across
-// journal.<firstseq>.jsonl files so checkpointing can retire history:
-// once a snapshot covers a whole segment, that segment can be deleted and
-// recovery cost becomes O(snapshot + tail) instead of O(history).
+// journal.<firstseq>.jsonl / .mbaj files so checkpointing can retire
+// history: once a snapshot covers a whole segment, that segment can be
+// deleted and recovery cost becomes O(snapshot + tail) instead of
+// O(history).
 //
 // Naming: a segment file carries the sequence number of its first event,
-// zero-padded so lexical order equals replay order.  Events are
-// contiguous across segments (sequence numbers never gap within a live
-// journal directory), which is what lets retirement reason about a
-// segment's last event from the next segment's name alone.
+// zero-padded so lexical order equals replay order; the extension records
+// the encoding it was created with (.jsonl seed format, .mbaj binary —
+// binlog.go), though recovery trusts content sniffing, not names.  Events
+// are contiguous across segments (sequence numbers never gap within a
+// live journal directory), which is what lets retirement reason about a
+// segment's last event from the next segment's name alone.  A directory
+// may freely mix formats across segments — each segment is one
+// self-describing stream.
 //
 // Torn tails are healed by truncate-then-append: both at open (a crash
-// mid-append leaves half a line at the end of the newest segment) and
+// mid-append leaves half a record at the end of the newest segment) and
 // after a failed in-flight append, the file is truncated back to its last
 // valid byte before anything else is written — new events are never
 // appended after garbage, so the journal never buries committed events
-// behind a corrupt line.
+// behind a corrupt record.  Under group commit the truncation point is
+// the log's committed-bytes offset, which also removes whole records that
+// other callers coalesced into the failed flush: every one of those
+// callers got the flush's error and rolled back, so their records must
+// not survive either.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -26,6 +36,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SegmentOptions tunes rotation and per-segment durability.
@@ -36,7 +47,8 @@ type SegmentOptions struct {
 	// RotateRounds seals the active segment after this many round_closed
 	// markers; 0 disables round-based rotation.
 	RotateRounds int
-	// Log is the per-segment durability policy (fsync, retries).
+	// Log is the per-segment durability policy (fsync, retries, format,
+	// group commit).
 	Log LogOptions
 	// Hook injects simulated crashes (tests only; nil in production).
 	Hook CrashHook
@@ -52,37 +64,72 @@ type SegmentInfo struct {
 	Size     int64  `json:"size"`
 }
 
+// ErrSeqRetired is returned by EventsSince when the requested start falls
+// before the oldest on-disk segment — the history a follower wants has
+// been checkpoint-retired, and it must bootstrap from a snapshot instead.
+var ErrSeqRetired = errors.New("platform: requested sequence retired from journal")
+
 // SegmentedLog is a rotating journal over a directory.  It implements
 // Journal; like Log, Append is serialised externally by the state mutex
 // (State.ApplyJournaled), but rotation-management entry points
 // (Rotate, RetireThrough) take an internal mutex so the checkpoint
-// manager may call them concurrently with appends.
+// manager may call them concurrently with appends.  With group commit
+// enabled (SegmentOptions.Log.GroupCommit) Append itself may also be
+// called concurrently: callers queue on the active segment's committer
+// and the mutex is only held for segment bookkeeping, not the write.
 type SegmentedLog struct {
 	mu   sync.Mutex
 	dir  string
 	opts SegmentOptions
 
-	f      *os.File // active segment; nil until the first append after a seal
-	log    *Log
-	cur    SegmentInfo
-	rounds int // round markers in the active segment
+	f   *os.File // active segment; nil until the first append after a seal
+	log *Log
+	cur SegmentInfo
+	// curBase is the active segment's size when its Log was attached;
+	// curBase + log.committedBytes() is always a safe (never-truncated,
+	// record-aligned) prefix of the file — the heal target and the
+	// streaming read limit.
+	curBase   int64
+	curFormat JournalFormat
+	rounds    int // round markers in the active segment
 
 	sealed  []SegmentInfo // older segments, ascending FirstSeq
 	dropped error         // open-time torn-tail diagnostic, if any
 }
 
 // segmentFileName formats the canonical segment name for a first
-// sequence number.
-func segmentFileName(firstSeq uint64) string {
-	return fmt.Sprintf("journal.%020d.jsonl", firstSeq)
+// sequence number in the given encoding.
+func segmentFileName(firstSeq uint64, format JournalFormat) string {
+	ext := "jsonl"
+	if format == FormatBinary {
+		ext = "mbaj"
+	}
+	return fmt.Sprintf("journal.%020d.%s", firstSeq, ext)
 }
 
 // parseSegmentSeq inverts segmentFileName; ok is false for foreign files.
 func parseSegmentSeq(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, "journal.") || !strings.HasSuffix(name, ".jsonl") {
+	rest, found := strings.CutPrefix(name, "journal.")
+	if !found {
 		return 0, false
 	}
-	return parseSeqToken(strings.TrimSuffix(strings.TrimPrefix(name, "journal."), ".jsonl"))
+	token, found := strings.CutSuffix(rest, ".jsonl")
+	if !found {
+		if token, found = strings.CutSuffix(rest, ".mbaj"); !found {
+			return 0, false
+		}
+	}
+	return parseSeqToken(token)
+}
+
+// segmentPathFormat infers a segment's declared encoding from its
+// extension — only consulted when the file has no valid content to sniff
+// (empty or fully torn).
+func segmentPathFormat(path string) JournalFormat {
+	if strings.HasSuffix(path, ".mbaj") {
+		return FormatBinary
+	}
+	return FormatJSONL
 }
 
 // listSegments returns dir's journal segments ascending by first
@@ -115,10 +162,12 @@ func listSegments(dir string) ([]SegmentInfo, error) {
 }
 
 // OpenSegmentedLog opens (creating if needed) a segment directory for
-// appending.  If the newest segment ends in a torn line — the signature
+// appending.  If the newest segment ends in a torn record — the signature
 // of a crash mid-append — it is truncated back to its last valid byte
 // before the file is opened for append; the diagnostic is available via
-// Dropped.
+// Dropped.  The reopened segment keeps its on-disk encoding regardless of
+// the requested format: a stream never mixes encodings, only the
+// directory does.
 func OpenSegmentedLog(dir string, opts SegmentOptions) (*SegmentedLog, error) {
 	if opts.MaxBytes == 0 {
 		opts.MaxBytes = DefaultSegmentBytes
@@ -137,11 +186,16 @@ func OpenSegmentedLog(dir string, opts SegmentOptions) (*SegmentedLog, error) {
 	sl.sealed = segs[:len(segs)-1]
 	active := segs[len(segs)-1]
 
-	valid, dropped, err := scanValidPrefix(active.Path)
+	valid, format, dropped, err := scanValidPrefix(active.Path)
 	if err != nil {
 		return nil, err
 	}
 	sl.dropped = dropped
+	if valid == 0 {
+		// Nothing sniffable; trust the extension so the segment keeps the
+		// encoding it was created with.
+		format = segmentPathFormat(active.Path)
+	}
 	if valid < active.Size {
 		// Truncate-then-append: drop the torn tail before the first new
 		// event can land after it.
@@ -159,7 +213,7 @@ func OpenSegmentedLog(dir string, opts SegmentOptions) (*SegmentedLog, error) {
 	if err != nil {
 		return nil, err
 	}
-	sl.attach(f, active)
+	sl.attach(f, active, format)
 	// Round markers already inside the reopened segment are not recounted:
 	// rotation thresholds are heuristics, and a segment slightly overshooting
 	// its round budget across a restart is harmless.
@@ -171,20 +225,32 @@ func OpenSegmentedLog(dir string, opts SegmentOptions) (*SegmentedLog, error) {
 // exactly the bytes that reached the file (torn halves included).  The
 // file itself is plumbed as the Log's fsync target: the wrappers don't
 // forward Sync, and FsyncAlways must reach the file, not a counter.
-func (sl *SegmentedLog) attach(f *os.File, info SegmentInfo) {
+// info.Size must be the file's current (valid) size; for a binary
+// segment a nonzero size proves the stream magic is already on disk.
+func (sl *SegmentedLog) attach(f *os.File, info SegmentInfo, format JournalFormat) {
+	if sl.log != nil {
+		// Stop the previous committer (heal re-attaches over the same
+		// file); it has already answered every caller, so this is just
+		// goroutine hygiene.
+		sl.log.Close()
+	}
 	sl.f = f
 	sl.cur = info
+	sl.curBase = info.Size
+	sl.curFormat = format
 	var w io.Writer = &countingWriter{w: f, n: &sl.cur.Size}
 	if sl.opts.Hook != nil {
 		w = sl.opts.Hook.Wrap(CrashSegmentWrite, w)
 	}
 	logOpts := sl.opts.Log
 	logOpts.Syncer = f
-	sl.log = NewLogWithOptions(w, logOpts)
+	sl.log = newLogAt(w, logOpts, format, info.Size > 0)
 }
 
 // countingWriter tracks bytes that actually reached the underlying
-// writer.
+// writer.  The count is updated atomically: under group commit the
+// committer goroutine writes while bookkeeping readers hold the segment
+// mutex.
 type countingWriter struct {
 	w io.Writer
 	n *int64
@@ -192,7 +258,7 @@ type countingWriter struct {
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	k, err := c.w.Write(p)
-	*c.n += int64(k)
+	atomic.AddInt64(c.n, int64(k))
 	return k, err
 }
 
@@ -203,53 +269,145 @@ func (sl *SegmentedLog) Dropped() error { return sl.dropped }
 // Dir returns the segment directory.
 func (sl *SegmentedLog) Dir() string { return sl.dir }
 
-// Append journals one applied event, rotating segments per the options.
-// A torn write is healed in place — the file is truncated back to the
-// pre-append offset, so the (rolled-back) event leaves no bytes behind
-// and the next append lands on a clean line boundary.  The error is
-// still returned: the caller's rollback contract is unchanged.
-func (sl *SegmentedLog) Append(e Event) error {
+// Poisoned reports whether the active segment's log is poisoned (a torn
+// write that could not be healed).
+func (sl *SegmentedLog) Poisoned() bool {
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
+	return sl.log != nil && sl.log.Poisoned()
+}
 
-	if sl.f == nil {
-		if hook := sl.opts.Hook; hook != nil {
-			// The mid-rotation power-cut point: the previous segment is
-			// sealed, the next does not exist yet.
-			if err := hook.At(CrashSegmentRotate); err != nil {
-				return fmt.Errorf("platform: rotating segment: %w", err)
-			}
-		}
-		path := filepath.Join(sl.dir, segmentFileName(e.Seq))
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return fmt.Errorf("platform: creating segment: %w", err)
-		}
-		sl.attach(f, SegmentInfo{Path: path, FirstSeq: e.Seq})
-		sl.rounds = 0
+// Append journals one applied event, rotating segments per the options.
+// A torn write is healed in place — the file is truncated back to the
+// last committed offset, so the (rolled-back) event leaves no bytes
+// behind and the next append lands on a clean record boundary.  The
+// error is still returned: the caller's rollback contract is unchanged.
+func (sl *SegmentedLog) Append(e Event) error {
+	return sl.appendEvents(e.Seq, []Event{e})
+}
+
+// AppendBatch journals a batch as one contiguous write (and one fsync)
+// in the active segment; a batch never spans a segment boundary.  It
+// implements BatchJournal for the all-or-nothing ingest path.
+func (sl *SegmentedLog) AppendBatch(events []Event) error {
+	if len(events) == 0 {
+		return nil
 	}
+	return sl.appendEvents(events[0].Seq, events)
+}
 
-	before := sl.cur.Size
-	err := sl.log.Append(e)
+func (sl *SegmentedLog) appendEvents(firstSeq uint64, events []Event) error {
+	if sl.opts.Log.GroupCommit {
+		return sl.appendGrouped(firstSeq, events)
+	}
+	return sl.appendDirect(firstSeq, events)
+}
+
+// ensureActiveLocked opens a fresh segment named after the incoming
+// event when none is active.
+func (sl *SegmentedLog) ensureActiveLocked(firstSeq uint64) error {
+	if sl.f != nil {
+		return nil
+	}
+	if hook := sl.opts.Hook; hook != nil {
+		// The mid-rotation power-cut point: the previous segment is
+		// sealed, the next does not exist yet.
+		if err := hook.At(CrashSegmentRotate); err != nil {
+			return fmt.Errorf("platform: rotating segment: %w", err)
+		}
+	}
+	path := filepath.Join(sl.dir, segmentFileName(firstSeq, sl.opts.Log.Format))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		if sl.log.Poisoned() && sl.cur.Size > before {
+		return fmt.Errorf("platform: creating segment: %w", err)
+	}
+	sl.attach(f, SegmentInfo{Path: path, FirstSeq: firstSeq}, sl.opts.Log.Format)
+	sl.rounds = 0
+	return nil
+}
+
+// afterAppendLocked does the post-append bookkeeping: round counting and
+// threshold rotation.
+func (sl *SegmentedLog) afterAppendLocked(events []Event) {
+	for i := range events {
+		if events[i].Kind == EventRoundClosed {
+			sl.rounds++
+		}
+	}
+	size := atomic.LoadInt64(&sl.cur.Size)
+	if (sl.opts.MaxBytes > 0 && size >= sl.opts.MaxBytes) ||
+		(sl.opts.RotateRounds > 0 && sl.rounds >= sl.opts.RotateRounds) {
+		// The events are durably appended; a Sync failure delays rotation
+		// (retried at the next append) and a Close failure has already
+		// detached the synced segment, so surface nothing either way.
+		_ = sl.sealLocked()
+	}
+}
+
+// appendDirect is the synchronous path (no group commit): the mutex is
+// held across the write, exactly the seed semantics.
+func (sl *SegmentedLog) appendDirect(firstSeq uint64, events []Event) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if err := sl.ensureActiveLocked(firstSeq); err != nil {
+		return err
+	}
+	before := atomic.LoadInt64(&sl.cur.Size)
+	var err error
+	if len(events) == 1 {
+		err = sl.log.Append(events[0])
+	} else {
+		err = sl.log.AppendBatch(events)
+	}
+	if err != nil {
+		if sl.log.Poisoned() && atomic.LoadInt64(&sl.cur.Size) > before {
 			sl.heal(before)
 		}
 		return err
 	}
-	if e.Kind == EventRoundClosed {
-		sl.rounds++
-	}
-	if (sl.opts.MaxBytes > 0 && sl.cur.Size >= sl.opts.MaxBytes) ||
-		(sl.opts.RotateRounds > 0 && sl.rounds >= sl.opts.RotateRounds) {
-		if err := sl.sealLocked(); err != nil {
-			// The event is durably appended; a Sync failure delays rotation
-			// (retried at the next append) and a Close failure has already
-			// detached the synced segment, so surface nothing either way.
-			return nil
-		}
-	}
+	sl.afterAppendLocked(events)
 	return nil
+}
+
+// appendGrouped queues the records on the active segment's committer
+// without holding the mutex across the write, so concurrent appends can
+// coalesce.  If the segment is sealed out from under a queued caller
+// (rotation racing an append) the caller retries on the fresh segment.
+func (sl *SegmentedLog) appendGrouped(firstSeq uint64, events []Event) error {
+	for {
+		sl.mu.Lock()
+		if err := sl.ensureActiveLocked(firstSeq); err != nil {
+			sl.mu.Unlock()
+			return err
+		}
+		log := sl.log
+		sl.mu.Unlock()
+
+		var err error
+		if len(events) == 1 {
+			err = log.Append(events[0])
+		} else {
+			err = log.AppendBatch(events)
+		}
+		if errors.Is(err, ErrLogClosed) {
+			// Sealed between our bookkeeping and the enqueue; the fresh
+			// segment has a live committer.
+			continue
+		}
+
+		sl.mu.Lock()
+		defer sl.mu.Unlock()
+		if err != nil {
+			if log == sl.log && log.Poisoned() {
+				sl.healGrouped()
+			}
+			return err
+		}
+		if log == sl.log {
+			sl.afterAppendLocked(events)
+		}
+		return nil
+	}
 }
 
 // heal truncates the active segment back to offset after a torn append
@@ -265,18 +423,32 @@ func (sl *SegmentedLog) heal(offset int64) {
 	if err := sl.f.Truncate(offset); err != nil {
 		return
 	}
-	sl.cur.Size = offset
+	atomic.StoreInt64(&sl.cur.Size, offset)
 	// Rebuild the log chain: same file, fresh (unpoisoned) Log.
-	sl.attach(sl.f, sl.cur)
+	sl.attach(sl.f, sl.cur, sl.curFormat)
+}
+
+// healGrouped is heal for the group-commit path, where the failed flush
+// may carry several callers' records and this caller's view of the
+// pre-append offset means nothing.  The truncation target is the log's
+// committed-bytes offset: everything of the failed flush goes (all its
+// callers were refused and rolled back), everything of earlier successful
+// flushes stays.  Poisoning is sticky, so no later flush can have moved
+// the file past the tear before we truncate.
+func (sl *SegmentedLog) healGrouped() {
+	sl.heal(sl.curBase + sl.log.committedBytes())
 }
 
 // sealLocked syncs and closes the active segment, adding it to the
 // sealed list.  The next Append opens a fresh segment named after its
-// event.
+// event.  A group committer is stopped first, which flushes everything
+// it already accepted — records therefore never land after the seal's
+// fsync without their own.
 func (sl *SegmentedLog) sealLocked() error {
 	if sl.f == nil {
 		return nil
 	}
+	sl.log.Close()
 	if err := sl.f.Sync(); err != nil {
 		return err
 	}
@@ -285,7 +457,9 @@ func (sl *SegmentedLog) sealLocked() error {
 	// later Append (and heal's Truncate on it) until restart, whereas
 	// detaching just makes the next Append open a fresh segment.
 	err := sl.f.Close()
-	sl.sealed = append(sl.sealed, sl.cur)
+	done := sl.cur
+	done.Size = atomic.LoadInt64(&sl.cur.Size)
+	sl.sealed = append(sl.sealed, done)
 	sl.f, sl.log = nil, nil
 	sl.cur = SegmentInfo{}
 	sl.rounds = 0
@@ -342,9 +516,63 @@ func (sl *SegmentedLog) Segments() []SegmentInfo {
 	defer sl.mu.Unlock()
 	out := append([]SegmentInfo(nil), sl.sealed...)
 	if sl.f != nil {
-		out = append(out, sl.cur)
+		cur := sl.cur
+		cur.Size = atomic.LoadInt64(&sl.cur.Size)
+		out = append(out, cur)
 	}
 	return out
+}
+
+// EventsSince returns every journaled event with sequence ≥ from, read
+// from the on-disk segments — the primary side of follower streaming.
+// Reads of the active segment stop at its committed-bytes offset, so an
+// in-flight (and possibly doomed) group flush is never served to a
+// follower; sealed segments are read whole.  ErrSeqRetired means from
+// predates the oldest segment and the caller needs a snapshot bootstrap.
+func (sl *SegmentedLog) EventsSince(from uint64) ([]Event, error) {
+	sl.mu.Lock()
+	segs := append([]SegmentInfo(nil), sl.sealed...)
+	if sl.f != nil {
+		cur := sl.cur
+		cur.Size = sl.curBase + sl.log.committedBytes()
+		segs = append(segs, cur)
+	}
+	sl.mu.Unlock()
+
+	if len(segs) == 0 {
+		return nil, nil
+	}
+	if from < segs[0].FirstSeq && segs[0].FirstSeq > 1 {
+		return nil, fmt.Errorf("%w: oldest on-disk sequence is %d, requested %d",
+			ErrSeqRetired, segs[0].FirstSeq, from)
+	}
+	var out []Event
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].FirstSeq <= from {
+			continue // every event here is < from
+		}
+		f, err := os.Open(seg.Path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Retired between the listing and the read.
+				return nil, fmt.Errorf("%w: segment %s removed mid-read", ErrSeqRetired, seg.Path)
+			}
+			return nil, err
+		}
+		events, _, dropped := readLogPartialOffset(io.LimitReader(f, seg.Size))
+		f.Close()
+		if dropped != nil && i+1 < len(segs) {
+			// A defect inside a sealed segment is real corruption, not an
+			// in-flight append; refuse to stream past it.
+			return nil, fmt.Errorf("platform: streaming segment %s: %w", seg.Path, dropped)
+		}
+		for _, e := range events {
+			if e.Seq >= from {
+				out = append(out, e)
+			}
+		}
+	}
+	return out, nil
 }
 
 // Sync flushes the active segment to stable storage.
@@ -367,14 +595,14 @@ func (sl *SegmentedLog) Close() error {
 }
 
 // scanValidPrefix reads a segment file and returns the byte offset of
-// the end of its last fully-valid line, plus the torn-tail diagnostic
-// when that offset is short of the file size.
-func scanValidPrefix(path string) (int64, error, error) {
+// the end of its last fully-valid record and the detected encoding, plus
+// the torn-tail diagnostic when that offset is short of the file size.
+func scanValidPrefix(path string) (int64, JournalFormat, error, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, nil, err
+		return 0, FormatJSONL, nil, err
 	}
 	defer f.Close()
-	_, valid, dropped := readLogPartialOffset(f)
-	return valid, dropped, nil
+	_, valid, format, dropped := readLogPartialDetect(f)
+	return valid, format, dropped, nil
 }

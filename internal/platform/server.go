@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -20,7 +21,10 @@ import (
 //	DELETE /v1/workers/{id}                                → 204
 //	POST   /v1/tasks              body: market.Task        → {"id": n}
 //	DELETE /v1/tasks/{id}                                  → 204
+//	POST   /v1/batch              body: [Event, …]         → {"applied": […]}
 //	GET    /v1/stats                                       → live counts
+//	GET    /v1/healthz                                     → HealthStatus
+//	GET    /v1/journal/stream?from=N                       → binary event stream
 //	POST   /v1/rounds?drain=true                           → RoundResult
 //
 // With drain=true every task assigned at least one worker in the round is
@@ -71,6 +75,9 @@ type ServerOptions struct {
 	// cooperatively through the solver stack and the request answered 503.
 	// 0 means unbounded.
 	RoundTimeout time.Duration
+	// MaxBatchBytes caps POST /v1/batch bodies separately from
+	// MaxBodyBytes — a batch is by design many events; 0 means unlimited.
+	MaxBatchBytes int64
 }
 
 // NewServerOptions returns the recommended limits: 1 MiB bodies (a worker
@@ -80,6 +87,7 @@ type ServerOptions struct {
 func NewServerOptions() ServerOptions {
 	return ServerOptions{
 		MaxBodyBytes:   1 << 20,
+		MaxBatchBytes:  8 << 20,
 		RequestTimeout: 5 * time.Second,
 	}
 }
@@ -97,7 +105,10 @@ func NewServerWithOptions(svc Backend, opts ServerOptions) *Server {
 	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleRemoveWorker)
 	s.mux.HandleFunc("POST /v1/tasks", s.handleAddTask)
 	s.mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleRemoveTask)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/journal/stream", s.handleJournalStream)
 	s.mux.HandleFunc("POST /v1/rounds", s.handleCloseRound)
 	// POST, not GET: a checkpoint writes a snapshot and deletes journal
 	// segments — side effects a crawler or monitoring probe must not be
@@ -203,6 +214,152 @@ func (s *Server) handleRemoveTask(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// BatchSubmitter is the optional backend capability behind POST
+// /v1/batch.  Service and ShardedService both implement it; it is not
+// part of Backend so existing Backend fakes keep compiling.
+type BatchSubmitter interface {
+	SubmitBatch(events []Event) ([]Event, error)
+}
+
+// BatchItem is one applied event in a POST /v1/batch response: the
+// journal sequence it committed at and the platform ID it resolved to.
+type BatchItem struct {
+	Seq  uint64    `json:"seq"`
+	Kind EventKind `json:"kind"`
+	ID   int       `json:"id,omitempty"`
+}
+
+// handleBatch applies a JSON array of mixed add/remove worker/task events
+// all-or-nothing: one journaled append (one fsync) for the whole batch,
+// 422 with nothing applied if any event is invalid.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	bs, ok := s.svc.(BatchSubmitter)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("batch ingest not supported by this backend"))
+		return
+	}
+	body := r.Body
+	if s.opts.MaxBatchBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.opts.MaxBatchBytes)
+	}
+	var events []Event
+	if err := json.NewDecoder(body).Decode(&events); err != nil {
+		writeDecodeError(w, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	applied, err := bs.SubmitBatch(events)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	items := make([]BatchItem, len(applied))
+	for i := range applied {
+		items[i] = BatchItem{Seq: applied[i].Seq, Kind: applied[i].Kind}
+		switch {
+		case applied[i].Worker != nil:
+			items[i].ID = applied[i].Worker.ID
+		case applied[i].WorkerID != nil:
+			items[i].ID = *applied[i].WorkerID
+		case applied[i].Task != nil:
+			items[i].ID = applied[i].Task.ID
+		case applied[i].TaskID != nil:
+			items[i].ID = *applied[i].TaskID
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": items})
+}
+
+// HealthReporter is the optional backend capability behind GET
+// /v1/healthz; backends without it get a status synthesized from Backend
+// alone (no journal visibility).
+type HealthReporter interface {
+	Health() HealthStatus
+}
+
+// handleHealthz reports serving health: 200 while the journal accepts
+// appends, 503 once it is poisoned (a standby watching this endpoint
+// knows to take over).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var h HealthStatus
+	if hr, ok := s.svc.(HealthReporter); ok {
+		h = hr.Health()
+	} else {
+		h.Status, h.Role = "ok", "primary"
+		h.Workers, h.Tasks = s.svc.Counts()
+		h.Rounds = s.svc.Rounds()
+	}
+	status := http.StatusOK
+	if h.JournalPoisoned {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// JournalStreamer is the optional backend capability behind GET
+// /v1/journal/stream (only Service with a segmented journal implements
+// it; sharded backends replicate per shard directory, not over one
+// stream).
+type JournalStreamer interface {
+	JournalEventsSince(from uint64) ([]Event, uint64, error)
+}
+
+// JournalLastSeqHeader carries the primary's last committed sequence on
+// a journal stream response, so a fully caught-up follower can still
+// report accurate lag.
+const JournalLastSeqHeader = "X-Journal-Last-Seq"
+
+// handleJournalStream serves journaled events with sequence ≥ from as one
+// finite binary stream (magic + framed records, the .mbaj segment format
+// regardless of what is on disk).  Followers poll it; 410 tells a
+// follower its start point was checkpoint-retired and it must bootstrap
+// from a snapshot.
+func (s *Server) handleJournalStream(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.svc.(JournalStreamer)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrStreamUnsupported)
+		return
+	}
+	from := uint64(1)
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
+			return
+		}
+		from = v
+	}
+	events, lastSeq, err := js.JournalEventsSince(from)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrStreamUnsupported):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrSeqRetired):
+			writeError(w, http.StatusGone, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(JournalLastSeqHeader, strconv.FormatUint(lastSeq, 10))
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 64*1024)
+	if _, err := bw.WriteString(binaryLogMagic); err != nil {
+		return
+	}
+	var rec []byte
+	for i := range events {
+		rec, err = appendBinaryRecord(rec[:0], &events[i])
+		if err != nil {
+			return // stream truncates; the follower's decoder keeps its valid prefix
+		}
+		if _, err := bw.Write(rec); err != nil {
+			return
+		}
+	}
+	_ = bw.Flush()
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -182,6 +183,48 @@ func (s *Service) Submit(e Event) (Event, error) {
 		return s.state.Apply(e)
 	}
 	return s.state.ApplyJournaled(e, s.journal.Append)
+}
+
+// SubmitBatch applies a batch of ingestion events all-or-nothing: every
+// event validates and applies, and the batch lands in the journal as one
+// contiguous append (one write + one fsync), or none of it happens.
+// Round markers are refused — rounds close through CloseRound, which owns
+// the marker's journaling.  Requires the journal (if any) to implement
+// BatchJournal; *Log and *SegmentedLog both do.
+func (s *Service) SubmitBatch(events []Event) ([]Event, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	for i := range events {
+		if events[i].Kind == EventRoundClosed {
+			return nil, fmt.Errorf("platform: batch event %d: round markers cannot be batch-submitted", i)
+		}
+	}
+	if s.journal == nil {
+		return s.state.ApplyBatchJournaled(events, nil)
+	}
+	bj, ok := s.journal.(BatchJournal)
+	if !ok {
+		return nil, fmt.Errorf("platform: journal %T cannot append batches atomically", s.journal)
+	}
+	return s.state.ApplyBatchJournaled(events, bj.AppendBatch)
+}
+
+// ErrStreamUnsupported is returned by JournalEventsSince when the service
+// has no segmented journal to stream from (journal-less, or a single-file
+// Log).
+var ErrStreamUnsupported = errors.New("platform: journal streaming requires a segmented journal")
+
+// JournalEventsSince serves the primary side of follower replication:
+// every journaled event with sequence ≥ from, plus the state's current
+// last-committed sequence so the follower can report its lag.
+func (s *Service) JournalEventsSince(from uint64) ([]Event, uint64, error) {
+	sl, ok := s.journal.(*SegmentedLog)
+	if !ok {
+		return nil, 0, ErrStreamUnsupported
+	}
+	events, err := sl.EventsSince(from)
+	return events, s.state.Seq(), err
 }
 
 // CloseRound assigns all open tasks to the live workforce, journals the

@@ -503,6 +503,218 @@ func (ss *ShardedService) submitTaskClosed(e Event) (Event, error) {
 	return ev, nil
 }
 
+// submitBatch applies a per-shard slice of a global batch atomically
+// (ApplyBatchJournaled + one journal append), same contract as
+// Service.SubmitBatch for one shard.
+func (sh *shardRuntime) submitBatch(events []Event) ([]Event, error) {
+	if sh.journal == nil {
+		return sh.state.ApplyBatchJournaled(events, nil)
+	}
+	bj, ok := sh.journal.(BatchJournal)
+	if !ok {
+		return nil, fmt.Errorf("platform: shard journal %T cannot append batches atomically", sh.journal)
+	}
+	return sh.state.ApplyBatchJournaled(events, bj.AppendBatch)
+}
+
+// SubmitBatch applies a mixed batch of ingestion events all-or-nothing
+// across the shards.  Planning happens first, under the service mutex but
+// against *staged* ID counters and residency overlays, so an intra-batch
+// sequence (join then leave, close then re-post) routes exactly as
+// sequential Submits would and any validation or routing error rejects
+// the batch before a single shard is touched.  Each shard then receives
+// its slice of the batch as one atomic apply+append; if shard k fails,
+// shards 0..k-1 are compensated with their inverse events in reverse
+// order (the PR 7 fan-out discipline, batch-sized), restoring the
+// pre-batch state everywhere.
+func (ss *ShardedService) SubmitBatch(events []Event) ([]Event, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	ncat := ss.shards[0].state.NumCategories()
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return nil, fmt.Errorf("platform: batch event %d: %w", i, err)
+		}
+		if events[i].Kind == EventRoundClosed {
+			return nil, fmt.Errorf("platform: batch event %d: round markers are journaled per shard by CloseRound", i)
+		}
+	}
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+
+	// Staged view of the routing tables: overlays win over the live maps,
+	// and nothing below mutates the live maps until every shard committed.
+	type stagedWorker struct {
+		targets []int
+		live    bool
+	}
+	type stagedTask struct {
+		shard int
+		open  bool
+	}
+	nextWorkerID, nextTaskID := ss.nextWorkerID, ss.nextTaskID
+	workerStage := map[int]stagedWorker{}
+	taskStage := map[int]stagedTask{}
+	profiles := map[int]market.Worker{} // in-batch joins; leaves need them for inverses
+	taskShapes := map[int]market.Task{} // in-batch posts, same reason
+	lookupWorker := func(id int) ([]int, bool) {
+		if st, ok := workerStage[id]; ok {
+			return st.targets, st.live
+		}
+		t, ok := ss.workerHome[id]
+		return t, ok
+	}
+	lookupTask := func(id int) (int, bool) {
+		if st, ok := taskStage[id]; ok {
+			return st.shard, st.open
+		}
+		k, ok := ss.taskHome[id]
+		return k, ok
+	}
+
+	perShard := make([][]Event, len(ss.shards))
+	inverse := make([][]Event, len(ss.shards)) // inverse[k][j] undoes perShard[k][j]
+	type eventRef struct{ shard, idx int }
+	refs := make([]eventRef, len(events))
+	place := func(k int, ev, inv Event) int {
+		perShard[k] = append(perShard[k], ev)
+		inverse[k] = append(inverse[k], inv)
+		return len(perShard[k]) - 1
+	}
+
+	for i := range events {
+		switch events[i].Kind {
+		case EventWorkerJoined:
+			w := *events[i].Worker
+			if err := validateWorkerProfile(&w, ncat); err != nil {
+				return nil, fmt.Errorf("platform: batch event %d: %w", i, err)
+			}
+			if w.ID >= nextWorkerID {
+				nextWorkerID = w.ID + 1
+			} else if w.ID == 0 {
+				w.ID = nextWorkerID
+				nextWorkerID++
+			}
+			if _, live := lookupWorker(w.ID); live {
+				return nil, fmt.Errorf("platform: batch event %d: worker %d already live", i, w.ID)
+			}
+			targets := ss.router.WorkerShards(w.Specialties)
+			for _, k := range targets {
+				idx := place(k, NewWorkerJoined(w), NewWorkerLeft(w.ID))
+				if k == targets[0] {
+					refs[i] = eventRef{k, idx}
+				}
+			}
+			workerStage[w.ID] = stagedWorker{targets: targets, live: true}
+			profiles[w.ID] = w
+		case EventWorkerLeft:
+			id := *events[i].WorkerID
+			targets, live := lookupWorker(id)
+			if !live {
+				return nil, fmt.Errorf("platform: batch event %d: worker %d not live", i, id)
+			}
+			w, staged := profiles[id]
+			if !staged {
+				var ok bool
+				if w, ok = ss.shards[targets[0]].state.Worker(id); !ok {
+					return nil, fmt.Errorf("platform: batch event %d: worker %d in routing table but not in shard %d", i, id, targets[0])
+				}
+			}
+			for _, k := range targets {
+				idx := place(k, NewWorkerLeft(id), NewWorkerJoined(w))
+				if k == targets[0] {
+					refs[i] = eventRef{k, idx}
+				}
+			}
+			workerStage[id] = stagedWorker{live: false}
+		case EventTaskPosted:
+			t := *events[i].Task
+			if err := validateTaskShape(&t, ncat); err != nil {
+				return nil, fmt.Errorf("platform: batch event %d: %w", i, err)
+			}
+			if t.ID >= nextTaskID {
+				nextTaskID = t.ID + 1
+			} else if t.ID == 0 {
+				t.ID = nextTaskID
+				nextTaskID++
+			}
+			if _, open := lookupTask(t.ID); open {
+				return nil, fmt.Errorf("platform: batch event %d: task %d already open", i, t.ID)
+			}
+			k := ss.router.TaskShard(t.Category)
+			refs[i] = eventRef{k, place(k, NewTaskPosted(t), NewTaskClosed(t.ID))}
+			taskStage[t.ID] = stagedTask{shard: k, open: true}
+			taskShapes[t.ID] = t
+		case EventTaskClosed:
+			id := *events[i].TaskID
+			k, open := lookupTask(id)
+			if !open {
+				return nil, fmt.Errorf("platform: batch event %d: task %d not open", i, id)
+			}
+			t, staged := taskShapes[id]
+			if !staged {
+				var ok bool
+				if t, ok = ss.shards[k].state.Task(id); !ok {
+					return nil, fmt.Errorf("platform: batch event %d: task %d in routing table but not in shard %d", i, id, k)
+				}
+			}
+			refs[i] = eventRef{k, place(k, NewTaskClosed(id), NewTaskPosted(t))}
+			taskStage[id] = stagedTask{open: false}
+		default:
+			return nil, fmt.Errorf("platform: batch event %d: unknown event kind %q", i, events[i].Kind)
+		}
+	}
+
+	// Apply phase: one atomic batch per shard, ascending.  On failure the
+	// already-applied shards are unwound by replaying their inverse lists
+	// backwards — undo-last-first restores the exact pre-batch state even
+	// when the batch touched an entity more than once.
+	applied := make([][]Event, len(ss.shards))
+	for k := range ss.shards {
+		if len(perShard[k]) == 0 {
+			continue
+		}
+		evs, err := ss.shards[k].submitBatch(perShard[k])
+		if err != nil {
+			for kk := k - 1; kk >= 0; kk-- {
+				for j := len(inverse[kk]) - 1; j >= 0; j-- {
+					if _, cerr := ss.shards[kk].submit(inverse[kk][j]); cerr != nil {
+						return nil, fmt.Errorf("platform: batch failed on shard %d (%v) and compensation failed on shard %d: %w — shards inconsistent",
+							k, err, kk, cerr)
+					}
+				}
+			}
+			return nil, fmt.Errorf("platform: batch failed on shard %d, batch rolled back: %w", k, err)
+		}
+		applied[k] = evs
+	}
+
+	// Commit the staged routing state only now that every shard holds the
+	// batch durably.
+	ss.nextWorkerID, ss.nextTaskID = nextWorkerID, nextTaskID
+	for id, st := range workerStage {
+		if st.live {
+			ss.workerHome[id] = st.targets
+		} else {
+			delete(ss.workerHome, id)
+		}
+	}
+	for id, st := range taskStage {
+		if st.open {
+			ss.taskHome[id] = st.shard
+		} else {
+			delete(ss.taskHome, id)
+		}
+	}
+	out := make([]Event, len(events))
+	for i, r := range refs {
+		out[i] = applied[r.shard][r.idx]
+	}
+	return out, nil
+}
+
 // CloseRound is CloseRoundCtx with a background context.
 func (ss *ShardedService) CloseRound() (*RoundResult, error) {
 	return ss.CloseRoundCtx(context.Background())

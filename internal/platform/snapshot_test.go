@@ -238,10 +238,12 @@ func TestParseSnapshotSeq(t *testing.T) {
 	}
 	// Same strictness for segment names: a foreign "journal.5junk.jsonl"
 	// must never parse (and so never be pruned or replayed).
-	if seq, ok := parseSegmentSeq(segmentFileName(42)); !ok || seq != 42 {
-		t.Fatalf("parse(%s) = %d, %v", segmentFileName(42), seq, ok)
+	for _, format := range []JournalFormat{FormatJSONL, FormatBinary} {
+		if seq, ok := parseSegmentSeq(segmentFileName(42, format)); !ok || seq != 42 {
+			t.Fatalf("parse(%s) = %d, %v", segmentFileName(42, format), seq, ok)
+		}
 	}
-	for _, name := range []string{"journal.5junk.jsonl", "journal.5.jsonl", "journal.jsonl"} {
+	for _, name := range []string{"journal.5junk.jsonl", "journal.5.jsonl", "journal.jsonl", "journal.5.mbaj"} {
 		if _, ok := parseSegmentSeq(name); ok {
 			t.Fatalf("parse(%q) accepted a foreign file", name)
 		}

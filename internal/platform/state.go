@@ -138,6 +138,49 @@ func (s *State) ApplyJournaled(e Event, journal func(Event) error) (Event, error
 	return applied, nil
 }
 
+// ApplyBatchJournaled applies a batch of events and journals them through
+// one call — the all-or-nothing half of batch ingest.  The state mutex is
+// held across the whole batch, so the events occupy a contiguous sequence
+// range and land in the journal as one contiguous (single-write,
+// single-fsync via BatchJournal) run.  Any failure — validation, apply, or
+// journal — unwinds every already-applied event of the batch in reverse
+// order: afterwards the batch exists neither in memory nor on disk.
+func (s *State) ApplyBatchJournaled(events []Event, journal func([]Event) error) ([]Event, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return nil, fmt.Errorf("platform: batch event %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := make([]Event, 0, len(events))
+	undos := make([]func(), 0, len(events))
+	unwind := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+	}
+	for i := range events {
+		a, undo, err := s.applyLocked(events[i])
+		if err != nil {
+			unwind()
+			return nil, fmt.Errorf("platform: batch event %d (%s) rejected, batch rolled back: %w", i, events[i].Kind, err)
+		}
+		applied = append(applied, a)
+		undos = append(undos, undo)
+	}
+	if journal != nil {
+		if err := journal(applied); err != nil {
+			unwind()
+			return nil, fmt.Errorf("platform: batch of %d events rolled back, journal append failed: %w", len(applied), err)
+		}
+	}
+	return applied, nil
+}
+
 // applyLocked performs the mutation under an already-held write lock and
 // returns, alongside the applied event, an undo closure that restores the
 // exact pre-apply state — entities and all ID/sequence counters.  The
