@@ -27,8 +27,13 @@ race:
 # plus the replication storms — the primary killed mid-stream (response
 # cut at seeded offsets), taken away for whole poll windows, and its
 # journal poisoned under it, with the follower required to converge to
-# snapshot byte-identity every time.  Deterministic under CHAOS_SEED
-# (default 1); export a different value to rotate the fault pattern.
+# snapshot byte-identity every time — and the failover storms: the
+# primary killed mid-traffic with the standby auto-promoting to a state
+# byte-identical to the crash-free reference, the old primary revived
+# and epoch-fenced (zero writes applied or journaled), and a follower
+# stalled past segment retention recovering through snapshot resync.
+# Deterministic under CHAOS_SEED (default 1); export a different value
+# to rotate the fault pattern (CI runs seeds 1, 7 and 1337).
 chaos:
 	CHAOS_SEED=$${CHAOS_SEED:-1} $(GO) test -race -count=1 -v -run 'Chaos' ./internal/platform/...
 

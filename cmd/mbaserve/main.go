@@ -10,6 +10,7 @@
 //	mbaserve -shards 8 -snapshot-dir ./data -solver incremental
 //	mbaserve -snapshot-dir ./data -journal-format binary -fsync always
 //	mbaserve -follow http://primary:8080 -snapshot-dir ./standby
+//	mbaserve -follow http://primary:8080 -snapshot-dir ./standby -auto-takeover
 //
 // With -snapshot-dir the journal is segmented inside that directory and a
 // checkpoint (atomic CRC-checked snapshot + journal compaction) is taken
@@ -33,9 +34,16 @@
 //
 // With -follow the process runs as a replication standby instead: it
 // tails the primary's journal stream (GET /v1/journal/stream), persists
-// every event into its own -snapshot-dir, and serves only GET /v1/healthz
-// (reporting replication lag).  Takeover is restarting without -follow on
-// the same directory — recovery replays the replicated journal.
+// every event into its own -snapshot-dir, and serves GET /v1/healthz
+// (reporting replication lag).  A follower that lags past the primary's
+// segment retention bootstraps itself from GET /v1/snapshot
+// automatically.  Manual takeover is restarting without -follow on the
+// same directory; with -auto-takeover the standby instead probes the
+// primary's health and, after -probe-failures consecutive failed probes,
+// promotes itself in-process — recovering its replicated journal,
+// bumping the replication epoch (which fences the old primary: its
+// writes die with 409 once it observes the higher epoch), and swapping
+// in the full serving API on the same address.
 //
 // API (see internal/platform.Server):
 //
@@ -45,8 +53,9 @@
 //	DELETE /v1/tasks/{id}   close a task
 //	POST   /v1/batch        apply a JSON array of events all-or-nothing
 //	GET    /v1/stats        live counts
-//	GET    /v1/healthz      journal/replication health (503 when poisoned)
+//	GET    /v1/healthz      journal/replication health (503 when degraded)
 //	GET    /v1/journal/stream?from=N  binary event stream for followers
+//	GET    /v1/snapshot     newest CRC-framed snapshot (follower resync)
 //	POST   /v1/rounds       close an assignment round (?drain=true to close
 //	                        assigned tasks afterwards)
 //	POST   /v1/checkpoint   take a checkpoint now (snapshot mode only)
@@ -54,7 +63,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -100,52 +108,36 @@ func buildSolver(name, chain string, deadline time.Duration) (core.Solver, error
 	return core.NewDegrader(deadline, stages...), nil
 }
 
-// runFollower runs the replication-standby mode: tail the primary's
-// journal stream into the local snapshot dir and serve only /v1/healthz.
-// Takeover is restarting without -follow on the same directory.
-func runFollower(primary, dir string, categories int, addr string, logOpts platform.LogOptions, segmentBytes int64, drainTimeout time.Duration) {
-	f, err := platform.NewFollower(primary, dir, platform.FollowerOptions{
-		NumCategories: categories,
-		Segment: platform.SegmentOptions{
-			MaxBytes: segmentBytes,
-			Log:      logOpts,
-		},
-	})
+// runFollower runs the replication-standby mode behind the failover
+// supervisor: tail the primary's journal stream into the local snapshot
+// dir, serve /v1/healthz (and, with -auto-takeover, promote to a full
+// primary on the same address once the primary is declared dead).
+// Manual takeover remains restarting without -follow on the directory.
+func runFollower(primary, dir, addr string, drainTimeout time.Duration, opts platform.FailoverOptions) {
+	fo, err := platform.NewFailover(primary, dir, opts)
 	if err != nil {
 		log.Fatalf("mbaserve: %v", err)
 	}
-	log.Printf("mbaserve: following %s from seq %d", primary, f.Seq()+1)
+	log.Printf("mbaserve: following %s from seq %d (auto-takeover %v)",
+		primary, fo.Follower().Seq()+1, opts.AutoTakeover)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	runDone := make(chan struct{})
-	go func() {
-		defer close(runDone)
-		_ = f.Run(ctx)
-	}()
+	runDone := make(chan error, 1)
+	go func() { runDone <- fo.Run(ctx) }()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := f.Health()
-		w.Header().Set("Content-Type", "application/json")
-		if h.JournalPoisoned {
-			w.WriteHeader(http.StatusServiceUnavailable)
-		}
-		if err := json.NewEncoder(w).Encode(h); err != nil {
-			log.Printf("mbaserve: healthz encode: %v", err)
-		}
-	})
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           mux,
+		Handler:           fo,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+		// Round closes after a promotion are bounded like a primary's.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
-	fmt.Printf("mbaserve following %s, health on %s\n", primary, addr)
+	fmt.Printf("mbaserve following %s, serving on %s\n", primary, addr)
 
 	select {
 	case err := <-serveErr:
@@ -158,11 +150,11 @@ func runFollower(primary, dir string, categories int, addr string, logOpts platf
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("mbaserve: shutdown: %v", err)
 	}
-	<-runDone
-	if err := f.Close(); err != nil {
-		log.Printf("mbaserve: follower journal close: %v", err)
+	if err := <-runDone; err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("mbaserve: failover supervisor: %v", err)
 	}
-	log.Printf("mbaserve: follower shut down cleanly (seq %d, lag %d)", f.Seq(), f.Lag())
+	f := fo.Follower()
+	log.Printf("mbaserve: standby shut down cleanly (phase %s, seq %d, lag %d)", fo.Phase(), f.Seq(), f.Lag())
 }
 
 // parseFsync maps the -fsync flag to a journal policy.
@@ -195,7 +187,10 @@ func main() {
 		numShards     = flag.Int("shards", 1, "partition the market into N shard markets solved concurrently per round (1 = single market)")
 		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof debug handlers on this address (empty disables)")
 		journalFmt    = flag.String("journal-format", "json", "encoding for newly written journal streams: json or binary (recovery auto-detects)")
-		follow        = flag.String("follow", "", "run as a replication follower of this primary base URL (requires -snapshot-dir; serves /v1/healthz only)")
+		follow        = flag.String("follow", "", "run as a replication follower of this primary base URL (requires -snapshot-dir)")
+		autoTakeover  = flag.Bool("auto-takeover", false, "with -follow: promote to primary automatically once the primary fails -probe-failures consecutive health probes")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "with -follow: primary health-probe cadence")
+		probeFailures = flag.Int("probe-failures", 5, "with -follow: consecutive failed probes before takeover")
 	)
 	flag.Parse()
 	if *snapshotDir != "" && *journal != "" {
@@ -239,7 +234,32 @@ func main() {
 	params := benefit.Params{Lambda: *lambda, Beta: 0.5}
 
 	if *follow != "" {
-		runFollower(*follow, *snapshotDir, *categories, *addr, logOpts, *segmentBytes, *drainTimeout)
+		solver, err := buildSolver(*solverName, *fallbackChain, *roundDeadline)
+		if err != nil {
+			log.Fatalf("mbaserve: %v", err)
+		}
+		runFollower(*follow, *snapshotDir, *addr, *drainTimeout, platform.FailoverOptions{
+			Follower: platform.FollowerOptions{
+				NumCategories: *categories,
+				Segment: platform.SegmentOptions{
+					MaxBytes: *segmentBytes,
+					Log:      logOpts,
+				},
+			},
+			ProbeInterval: *probeInterval,
+			ProbeFailures: *probeFailures,
+			AutoTakeover:  *autoTakeover,
+			Seed:          *seed,
+			Solver:        solver,
+			Params:        params,
+			Server:        platform.NewServerOptions(),
+			// A promoted primary keeps the checkpoint/compaction policy a
+			// restarted primary on this directory would have.
+			Checkpoint: &platform.CheckpointOptions{
+				EveryRounds: *snapshotEvery,
+				Keep:        *snapshotKeep,
+			},
+		})
 		return
 	}
 

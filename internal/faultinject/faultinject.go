@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -258,4 +260,71 @@ func (s *PanicSolver) Solve(p *core.Problem, r *stats.RNG) ([]int, error) {
 func (s *PanicSolver) SolveCtx(ctx context.Context, p *core.Problem, r *stats.RNG) ([]int, error) {
 	s.maybePanic()
 	return core.SolveWithContext(ctx, p, s.inner, r)
+}
+
+// KillSwitch wraps an http.Handler with a hard-down toggle: once killed,
+// every request aborts mid-response (panic(http.ErrAbortHandler), which
+// net/http turns into a severed connection, not a tidy 5xx) — the
+// process-crash stand-in for failover tests.  Revive restores service,
+// which is exactly the resurrected-old-primary scenario split-brain
+// storms need.  Safe for concurrent use.
+type KillSwitch struct {
+	inner http.Handler
+	dead  atomic.Bool
+}
+
+// NewKillSwitch wraps h, initially alive.
+func NewKillSwitch(h http.Handler) *KillSwitch {
+	return &KillSwitch{inner: h}
+}
+
+// Kill makes every subsequent request die mid-flight.
+func (k *KillSwitch) Kill() { k.dead.Store(true) }
+
+// Revive restores the wrapped handler.
+func (k *KillSwitch) Revive() { k.dead.Store(false) }
+
+// Dead reports the current toggle.
+func (k *KillSwitch) Dead() bool { return k.dead.Load() }
+
+// ServeHTTP implements http.Handler.
+func (k *KillSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+// FlapHandler wraps an http.Handler and answers scheduled requests with
+// 503 instead of serving them — the flapping-but-alive primary that an
+// auto-takeover probe loop must NOT promote over.  Safe for concurrent
+// use.
+type FlapHandler struct {
+	inner http.Handler
+	sched Schedule
+
+	mu  sync.Mutex
+	ops int
+}
+
+// NewFlapHandler wraps h with the given 503 schedule.
+func NewFlapHandler(h http.Handler, sched Schedule) *FlapHandler {
+	if sched == nil {
+		sched = Never()
+	}
+	return &FlapHandler{inner: h, sched: sched}
+}
+
+// ServeHTTP implements http.Handler.
+func (f *FlapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	op := f.ops
+	f.ops++
+	fire := f.sched(op)
+	f.mu.Unlock()
+	if fire {
+		http.Error(w, "faultinject: scheduled flap", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
 }

@@ -35,6 +35,7 @@ import (
 //	'T': id(i64) category(i32) replication(i32) payment(f64) difficulty(f64)
 //	'L','C': id(i64)
 //	'R': round(i64)
+//	'E': epoch(u64)
 //
 // All integers and float bit patterns are little-endian.  Accuracy and
 // interest lengths are encoded independently so the codec round-trips any
@@ -62,6 +63,7 @@ const (
 	binKindTaskPosted   = byte('T')
 	binKindTaskClosed   = byte('C')
 	binKindRoundClosed  = byte('R')
+	binKindEpochBumped  = byte('E')
 )
 
 // ErrRecordCorrupt marks any defect in a binary journal stream — bad
@@ -153,6 +155,9 @@ func appendBinaryRecord(dst []byte, e *Event) ([]byte, error) {
 	case EventRoundClosed:
 		kind = binKindRoundClosed
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(*e.Round)))
+	case EventEpochBumped:
+		kind = binKindEpochBumped
+		dst = binary.LittleEndian.AppendUint64(dst, *e.Epoch)
 	default:
 		return dst[:start], fmt.Errorf("platform: cannot binary-encode event kind %q", e.Kind)
 	}
@@ -263,6 +268,9 @@ func decodeBinaryPayload(kind byte, payload []byte) (Event, error) {
 	case binKindRoundClosed:
 		round := int(c.i64())
 		e.Kind, e.Round = EventRoundClosed, &round
+	case binKindEpochBumped:
+		epoch := c.u64()
+		e.Kind, e.Epoch = EventEpochBumped, &epoch
 	default:
 		return Event{}, recordCorrupt("unknown record kind 0x%02x", kind)
 	}

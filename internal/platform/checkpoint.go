@@ -87,6 +87,11 @@ func NewCheckpointManager(state *State, seg *SegmentedLog, opts CheckpointOption
 	return &CheckpointManager{state: state, seg: seg, opts: opts}, nil
 }
 
+// SnapshotDir returns where this manager writes snapshots (the segmented
+// log's directory unless overridden) — the directory GET /v1/snapshot
+// serves from.
+func (cm *CheckpointManager) SnapshotDir() string { return cm.opts.Dir }
+
 // RoundClosed notifies the manager that a round committed; it takes a
 // checkpoint when the policy says so.  took reports whether a checkpoint
 // was taken (and succeeded).

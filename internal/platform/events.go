@@ -33,6 +33,10 @@ const (
 	EventTaskPosted   EventKind = "task_posted"
 	EventTaskClosed   EventKind = "task_closed"
 	EventRoundClosed  EventKind = "round_closed"
+	// EventEpochBumped is the replication-control record: a promotion fences
+	// every earlier epoch.  Journaled like any other event so the fencing
+	// decision itself replays, replicates, and survives recovery.
+	EventEpochBumped EventKind = "epoch_bumped"
 )
 
 // Event is one log entry.  Exactly one payload field is set, matching Kind.
@@ -54,6 +58,8 @@ type Event struct {
 	TaskID *int `json:"task_id,omitempty"`
 	// Round is set for round_closed: the round number that just finished.
 	Round *int `json:"round,omitempty"`
+	// Epoch is set for epoch_bumped: the new (strictly higher) epoch.
+	Epoch *uint64 `json:"epoch,omitempty"`
 }
 
 // Validate checks the kind/payload pairing.
@@ -78,6 +84,13 @@ func (e *Event) Validate() error {
 	case EventRoundClosed:
 		if e.Round == nil {
 			return fmt.Errorf("platform: %s without round", e.Kind)
+		}
+	case EventEpochBumped:
+		if e.Epoch == nil {
+			return fmt.Errorf("platform: %s without epoch", e.Kind)
+		}
+		if *e.Epoch == 0 {
+			return fmt.Errorf("platform: %s with zero epoch", e.Kind)
 		}
 	default:
 		return fmt.Errorf("platform: unknown event kind %q", e.Kind)
@@ -117,4 +130,9 @@ func NewTaskClosed(id int) Event {
 // NewRoundClosed builds a round_closed marker.
 func NewRoundClosed(round int) Event {
 	return Event{Kind: EventRoundClosed, Round: &round}
+}
+
+// NewEpochBumped builds an epoch_bumped control event.
+func NewEpochBumped(epoch uint64) Event {
+	return Event{Kind: EventEpochBumped, Epoch: &epoch}
 }

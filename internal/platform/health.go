@@ -33,6 +33,19 @@ type HealthStatus struct {
 	// it this follower's state is.
 	PrimarySeq     uint64 `json:"primary_seq,omitempty"`
 	ReplicationLag uint64 `json:"replication_lag,omitempty"`
+	// Epoch is the replication epoch of the serving state: 0 on a market
+	// that has never failed over, bumped by one at every promotion.
+	Epoch uint64 `json:"epoch"`
+	// Fenced reports that this process observed a higher epoch than its
+	// own (FencedBy) — it is a demoted primary refusing writes.
+	Fenced   bool   `json:"fenced,omitempty"`
+	FencedBy uint64 `json:"fenced_by,omitempty"`
+	// PromotedAtSeq is the journal sequence of the epoch-bump event this
+	// primary wrote when it took over (0 when it started as a primary).
+	PromotedAtSeq uint64 `json:"promoted_at_seq,omitempty"`
+	// ContactAgeMS is follower-only: milliseconds since the last successful
+	// primary contact.
+	ContactAgeMS int64 `json:"contact_age_ms,omitempty"`
 }
 
 // journalPoisoned asks a journal whether it can still append; journals
@@ -52,9 +65,15 @@ func (s *Service) Health() HealthStatus {
 		Workers:         workers,
 		Tasks:           tasks,
 		Rounds:          s.state.Rounds(),
+		Epoch:           s.state.Epoch(),
+		PromotedAtSeq:   s.PromotedAtSeq(),
+	}
+	h.Fenced, h.FencedBy = s.FenceStatus()
+	if !h.Fenced {
+		h.FencedBy = 0
 	}
 	h.Status = "ok"
-	if h.JournalPoisoned {
+	if h.JournalPoisoned || h.Fenced {
 		h.Status = "degraded"
 	}
 	return h
@@ -82,5 +101,12 @@ func (ss *ShardedService) Health() HealthStatus {
 	}
 	h.Workers, h.Tasks = ss.Counts()
 	h.Rounds = ss.Rounds()
+	h.Epoch = ss.Epoch()
+	h.Fenced, h.FencedBy = ss.FenceStatus()
+	if h.Fenced {
+		h.Status = "degraded"
+	} else {
+		h.FencedBy = 0
+	}
 	return h
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 //	GET    /v1/stats                                       → live counts
 //	GET    /v1/healthz                                     → HealthStatus
 //	GET    /v1/journal/stream?from=N                       → binary event stream
+//	GET    /v1/snapshot                                    → newest snapshot bytes
 //	POST   /v1/rounds?drain=true                           → RoundResult
 //
 // With drain=true every task assigned at least one worker in the round is
@@ -109,6 +111,7 @@ func NewServerWithOptions(svc Backend, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/journal/stream", s.handleJournalStream)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/rounds", s.handleCloseRound)
 	// POST, not GET: a checkpoint writes a snapshot and deletes journal
 	// segments — side effects a crawler or monitoring probe must not be
@@ -117,11 +120,46 @@ func NewServerWithOptions(svc Backend, opts ServerOptions) *Server {
 	return s
 }
 
+// EpochHeader carries the replication epoch on every request and
+// response of an epoch-aware backend.  Responses advertise the backend's
+// current epoch; a request carrying a higher epoch than the backend's own
+// proves a newer primary exists and fences the backend (ErrFenced on its
+// write paths, 409 here).  A malformed request header is ignored —
+// fencing is a safety net, and an unparseable value carries no evidence
+// of a newer epoch.
+const EpochHeader = "X-MBA-Epoch"
+
+// Fenceable is the optional backend capability behind epoch fencing.
+// Service and ShardedService implement it; backends without it serve
+// exactly as before (no epoch header, no fencing).
+type Fenceable interface {
+	// Epoch is the backend's own (journaled) replication epoch.
+	Epoch() uint64
+	// ObserveEpoch records an epoch seen on the wire.
+	ObserveEpoch(epoch uint64)
+	// FenceStatus reports whether a higher epoch has been observed, and
+	// which.
+	FenceStatus() (fenced bool, observed uint64)
+}
+
 // ServeHTTP implements http.Handler.  Ingestion requests get the
 // per-request deadline here; round closes manage their own (longer)
-// budget in handleCloseRound.
+// budget in handleCloseRound, and snapshot transfers are unbounded (a
+// resyncing follower may pull a large file).  Epoch-aware backends get
+// the fencing exchange on every request: observe the caller's epoch,
+// advertise our own.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.opts.RequestTimeout > 0 && !(r.Method == http.MethodPost && r.URL.Path == "/v1/rounds") {
+	if fc, ok := s.svc.(Fenceable); ok {
+		if h := r.Header.Get(EpochHeader); h != "" {
+			if v, err := strconv.ParseUint(h, 10, 64); err == nil {
+				fc.ObserveEpoch(v)
+			}
+		}
+		w.Header().Set(EpochHeader, strconv.FormatUint(fc.Epoch(), 10))
+	}
+	exempt := (r.Method == http.MethodPost && r.URL.Path == "/v1/rounds") ||
+		(r.Method == http.MethodGet && r.URL.Path == "/v1/snapshot")
+	if s.opts.RequestTimeout > 0 && !exempt {
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
@@ -162,6 +200,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeSubmitError maps a write-path error to a status: a fenced backend
+// answers 409 regardless of the handler's usual failure status — the
+// response's X-MBA-Epoch header (set in ServeHTTP) tells the client which
+// epoch outranked this process.
+func writeSubmitError(w http.ResponseWriter, status int, err error) {
+	if errors.Is(err, ErrFenced) {
+		status = http.StatusConflict
+	}
+	writeError(w, status, err)
+}
+
 func (s *Server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
 	var worker market.Worker
 	if err := s.decodeBody(w, r, &worker); err != nil {
@@ -170,7 +219,7 @@ func (s *Server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
 	}
 	applied, err := s.svc.Submit(NewWorkerJoined(worker))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeSubmitError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"id": applied.Worker.ID})
@@ -183,7 +232,7 @@ func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, err := s.svc.Submit(NewWorkerLeft(id)); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeSubmitError(w, http.StatusNotFound, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -197,7 +246,7 @@ func (s *Server) handleAddTask(w http.ResponseWriter, r *http.Request) {
 	}
 	applied, err := s.svc.Submit(NewTaskPosted(task))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeSubmitError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"id": applied.Task.ID})
@@ -210,7 +259,7 @@ func (s *Server) handleRemoveTask(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, err := s.svc.Submit(NewTaskClosed(id)); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeSubmitError(w, http.StatusNotFound, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -251,7 +300,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	applied, err := bs.SubmitBatch(events)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeSubmitError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	items := make([]BatchItem, len(applied))
@@ -278,9 +327,10 @@ type HealthReporter interface {
 	Health() HealthStatus
 }
 
-// handleHealthz reports serving health: 200 while the journal accepts
-// appends, 503 once it is poisoned (a standby watching this endpoint
-// knows to take over).
+// handleHealthz reports serving health: 200 while the backend is fully
+// healthy, 503 once it degrades — a poisoned journal, a fenced primary,
+// or a follower out of contact — so a standby's probe loop (or a load
+// balancer) needs no JSON parsing to know this process is in trouble.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	var h HealthStatus
 	if hr, ok := s.svc.(HealthReporter); ok {
@@ -291,7 +341,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		h.Rounds = s.svc.Rounds()
 	}
 	status := http.StatusOK
-	if h.JournalPoisoned {
+	if h.Status != "ok" {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)
@@ -362,6 +412,44 @@ func (s *Server) handleJournalStream(w http.ResponseWriter, r *http.Request) {
 	_ = bw.Flush()
 }
 
+// SnapshotProvider is the optional backend capability behind GET
+// /v1/snapshot: the newest CRC-verified snapshot as raw bytes, for a
+// follower whose replication position was checkpoint-retired (410 on the
+// journal stream) to bootstrap from.
+type SnapshotProvider interface {
+	LatestSnapshot() (io.ReadCloser, SnapshotInfo, error)
+}
+
+// SnapshotSeqHeader carries the served snapshot's sequence number, so a
+// resyncing follower knows its re-tail position before decoding a byte.
+const SnapshotSeqHeader = "X-MBA-Snapshot-Seq"
+
+// handleSnapshot streams the newest valid snapshot file.  404 when the
+// backend cannot serve one (no checkpointing configured, or nothing
+// written yet) — a follower translates that into "resync impossible,
+// keep retrying the stream".
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	sp, ok := s.svc.(SnapshotProvider)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNoSnapshot)
+		return
+	}
+	rc, info, err := sp.LatestSnapshot()
+	if err != nil {
+		if errors.Is(err, ErrNoSnapshot) {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(SnapshotSeqHeader, strconv.FormatUint(info.Seq, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, rc)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	workers, tasks := s.svc.Counts()
 	writeJSON(w, http.StatusOK, map[string]int{
@@ -410,7 +498,7 @@ func (s *Server) handleCloseRound(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("round abandoned: %w", err))
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeSubmitError(w, http.StatusInternalServerError, err)
 		return
 	}
 	if r.URL.Query().Get("drain") == "true" {
@@ -427,7 +515,7 @@ func (s *Server) handleCloseRound(w http.ResponseWriter, r *http.Request) {
 		sort.Ints(ids)
 		for _, id := range ids {
 			if _, err := s.svc.Submit(NewTaskClosed(id)); err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeSubmitError(w, http.StatusInternalServerError, err)
 				return
 			}
 		}

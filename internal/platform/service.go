@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/benefit"
 	"repro/internal/core"
@@ -98,9 +100,27 @@ type Service struct {
 	rng        *stats.RNG
 	checkpoint *CheckpointManager // optional; set via SetCheckpointer
 
+	// fencedBy is the highest foreign replication epoch this service has
+	// observed (via the X-MBA-Epoch request header, or ObserveEpoch
+	// directly).  When it exceeds the state's own epoch the service is
+	// fenced: a newer primary exists, so committing anything here would
+	// split-brain the market.
+	fencedBy atomic.Uint64
+	// promotedAt is the journal seq of the epoch bump this service wrote
+	// when it took over from a failed primary (0 = never promoted).
+	promotedAt atomic.Uint64
+
 	roundMu sync.Mutex    // serialises CloseRound; guards prev
 	prev    *core.Problem // previous round's problem, reused as the next round's arena
 }
+
+// ErrFenced is returned by the write paths (Submit, SubmitBatch,
+// CloseRound) once the service has observed a replication epoch higher
+// than its own: another process has been promoted, and anything journaled
+// here would diverge from the new primary's history.  The HTTP layer maps
+// it to 409 with the X-MBA-Epoch header so clients can re-resolve the
+// primary.
+var ErrFenced = errors.New("platform: fenced by a higher replication epoch")
 
 // NewService wires a service.  journal may be nil (no journaling); both
 // *Log and *SegmentedLog satisfy it.
@@ -172,6 +192,46 @@ func (s *Service) CheckpointNow() (any, bool, error) {
 	return res, true, err
 }
 
+// Epoch returns the service's replication epoch (the state's — the epoch
+// is a journaled fact, not process memory).
+func (s *Service) Epoch() uint64 { return s.state.Epoch() }
+
+// ObserveEpoch records a replication epoch seen on the wire.  Observing
+// an epoch above the service's own permanently fences it (until the state
+// itself reaches that epoch — which only replication can make happen,
+// never this service's own writes).
+func (s *Service) ObserveEpoch(epoch uint64) {
+	for {
+		cur := s.fencedBy.Load()
+		if epoch <= cur || s.fencedBy.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// FenceStatus reports whether the service is fenced and the highest
+// foreign epoch it has observed.
+func (s *Service) FenceStatus() (fenced bool, observed uint64) {
+	observed = s.fencedBy.Load()
+	return observed > s.state.Epoch(), observed
+}
+
+// checkFence refuses writes on a fenced service.
+func (s *Service) checkFence() error {
+	if fenced, observed := s.FenceStatus(); fenced {
+		return fmt.Errorf("%w: observed epoch %d above local %d", ErrFenced, observed, s.state.Epoch())
+	}
+	return nil
+}
+
+// NotePromotion records the journal sequence of the epoch bump that made
+// this service the primary (surfaced as promoted_at_seq in healthz).
+func (s *Service) NotePromotion(seq uint64) { s.promotedAt.Store(seq) }
+
+// PromotedAtSeq returns the promotion provenance recorded by
+// NotePromotion (0 when this service started as a primary).
+func (s *Service) PromotedAtSeq() uint64 { return s.promotedAt.Load() }
+
 // Submit applies an event to the state and journals it.  With a journal
 // attached, the apply and the append happen atomically under the state
 // mutex (State.ApplyJournaled): sequence numbers are assigned inside the
@@ -179,6 +239,9 @@ func (s *Service) CheckpointNow() (any, bool, error) {
 // the journal out of order — and if the append fails, the apply is rolled
 // back, so a Submit error means the event happened nowhere.
 func (s *Service) Submit(e Event) (Event, error) {
+	if err := s.checkFence(); err != nil {
+		return Event{}, err
+	}
 	if s.journal == nil {
 		return s.state.Apply(e)
 	}
@@ -194,6 +257,9 @@ func (s *Service) Submit(e Event) (Event, error) {
 func (s *Service) SubmitBatch(events []Event) ([]Event, error) {
 	if len(events) == 0 {
 		return nil, nil
+	}
+	if err := s.checkFence(); err != nil {
+		return nil, err
 	}
 	for i := range events {
 		if events[i].Kind == EventRoundClosed {
@@ -214,6 +280,24 @@ func (s *Service) SubmitBatch(events []Event) ([]Event, error) {
 // has no segmented journal to stream from (journal-less, or a single-file
 // Log).
 var ErrStreamUnsupported = errors.New("platform: journal streaming requires a segmented journal")
+
+// ErrNoSnapshot is returned by LatestSnapshot when no decodable snapshot
+// exists (checkpointing never ran, or every generation is corrupt).
+var ErrNoSnapshot = errors.New("platform: no snapshot available")
+
+// LatestSnapshot implements SnapshotProvider: an open reader over the
+// newest snapshot file that passes full CRC verification, plus its info.
+// Corrupt generations are skipped exactly like RecoverDir's fallback
+// chain.  Requires an attached checkpoint manager — a primary that never
+// snapshots also never retires segments, so its followers never need a
+// snapshot bootstrap.
+func (s *Service) LatestSnapshot() (io.ReadCloser, SnapshotInfo, error) {
+	cm := s.Checkpointer()
+	if cm == nil {
+		return nil, SnapshotInfo{}, ErrNoSnapshot
+	}
+	return latestSnapshotIn(cm.SnapshotDir())
+}
 
 // JournalEventsSince serves the primary side of follower replication:
 // every journaled event with sequence ≥ from, plus the state's current
@@ -253,6 +337,12 @@ func (s *Service) CloseRound() (*RoundResult, error) {
 // journaled, RoundResult.SolveError records why nothing was assigned, and
 // the serving loop lives on.
 func (s *Service) CloseRoundCtx(ctx context.Context) (*RoundResult, error) {
+	// A fenced service must not journal a round marker: the new primary's
+	// history would never contain it.  Checked again implicitly when the
+	// marker is Submitted, but failing before the solve is cheaper.
+	if err := s.checkFence(); err != nil {
+		return nil, err
+	}
 	s.roundMu.Lock()
 	defer s.roundMu.Unlock()
 

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/benefit"
 	"repro/internal/core"
@@ -120,6 +121,11 @@ type ShardedService struct {
 	taskHome     map[int]int   // open task ID → owning shard
 
 	roundMu sync.Mutex // serialises CloseRound; guards every shard's prev
+
+	// fencedBy is the highest foreign replication epoch observed (see
+	// Service.fencedBy; one fence covers every shard — the shards fail
+	// over as a unit or not at all).
+	fencedBy atomic.Uint64
 
 	// repairedWorkers counts the partial multi-shard worker writes reindex
 	// converged to absent during recovery (see reindex).
@@ -370,6 +376,9 @@ func (ss *ShardedService) Checkpoint() ([]CheckpointResult, bool, error) {
 // applied, restoring the all-or-nothing Submit contract.  Round markers are
 // journaled by CloseRound itself and are rejected here.
 func (ss *ShardedService) Submit(e Event) (Event, error) {
+	if err := ss.checkFence(); err != nil {
+		return Event{}, err
+	}
 	if err := e.Validate(); err != nil {
 		return Event{}, err
 	}
@@ -386,9 +395,49 @@ func (ss *ShardedService) Submit(e Event) (Event, error) {
 		return ss.submitTaskClosed(e)
 	case EventRoundClosed:
 		return Event{}, fmt.Errorf("platform: round markers are journaled per shard by CloseRound")
+	case EventEpochBumped:
+		// An epoch bump has no routing key; sharded backends fail over as a
+		// directory tree, not over one journal stream, so the control event
+		// has nowhere coherent to land.
+		return Event{}, fmt.Errorf("platform: epoch bumps are not routable on a sharded backend")
 	default:
 		return Event{}, fmt.Errorf("platform: unknown event kind %q", e.Kind)
 	}
+}
+
+// Epoch implements Fenceable: the max over the shard states (a recovered
+// directory tree may carry the bump in any shard's journal).
+func (ss *ShardedService) Epoch() uint64 {
+	var top uint64
+	for _, rt := range ss.shards {
+		if e := rt.state.Epoch(); e > top {
+			top = e
+		}
+	}
+	return top
+}
+
+// ObserveEpoch implements Fenceable (see Service.ObserveEpoch).
+func (ss *ShardedService) ObserveEpoch(epoch uint64) {
+	for {
+		cur := ss.fencedBy.Load()
+		if epoch <= cur || ss.fencedBy.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// FenceStatus implements Fenceable.
+func (ss *ShardedService) FenceStatus() (fenced bool, observed uint64) {
+	observed = ss.fencedBy.Load()
+	return observed > ss.Epoch(), observed
+}
+
+func (ss *ShardedService) checkFence() error {
+	if fenced, observed := ss.FenceStatus(); fenced {
+		return fmt.Errorf("%w: observed epoch %d above local %d", ErrFenced, observed, ss.Epoch())
+	}
+	return nil
 }
 
 func (ss *ShardedService) submitWorkerJoined(e Event) (Event, error) {
@@ -530,6 +579,9 @@ func (sh *shardRuntime) submitBatch(events []Event) ([]Event, error) {
 func (ss *ShardedService) SubmitBatch(events []Event) ([]Event, error) {
 	if len(events) == 0 {
 		return nil, nil
+	}
+	if err := ss.checkFence(); err != nil {
+		return nil, err
 	}
 	ncat := ss.shards[0].state.NumCategories()
 	for i := range events {
@@ -734,6 +786,9 @@ func (ss *ShardedService) CloseRound() (*RoundResult, error) {
 // reports the minimum.  Entity state is untouched by markers, so a retried
 // CloseRound re-serves everyone.
 func (ss *ShardedService) CloseRoundCtx(ctx context.Context) (*RoundResult, error) {
+	if err := ss.checkFence(); err != nil {
+		return nil, err
+	}
 	ss.roundMu.Lock()
 	defer ss.roundMu.Unlock()
 

@@ -68,6 +68,9 @@ type snapshotHeader struct {
 	NextTaskID    int    `json:"next_task_id"`
 	Workers       int    `json:"workers"`
 	Tasks         int    `json:"tasks"`
+	// Epoch is the replication epoch at snapshot time.  Omitted (and so
+	// decoded as 0) in snapshots written before epoch fencing existed.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // SnapshotInfo describes a snapshot to callers (API responses, recovery
@@ -124,6 +127,7 @@ func (s *State) EncodeSnapshot(w io.Writer) (SnapshotInfo, error) {
 		NextTaskID:    s.nextTaskID,
 		Workers:       len(s.workers),
 		Tasks:         len(s.tasks),
+		Epoch:         s.epoch,
 	}
 	info := SnapshotInfo{
 		Seq: hdr.Seq, Rounds: hdr.Rounds, NumCategories: hdr.NumCategories,
@@ -252,6 +256,7 @@ func DecodeSnapshot(r io.Reader) (*State, SnapshotInfo, error) {
 		nextWorkerID:  hdr.NextWorkerID,
 		nextTaskID:    hdr.NextTaskID,
 		rounds:        hdr.Rounds,
+		epoch:         hdr.Epoch,
 		workers:       make(map[int]market.Worker, hdr.Workers),
 		tasks:         make(map[int]market.Task, hdr.Tasks),
 	}
@@ -447,6 +452,39 @@ func ReadSnapshotFile(path string) (*State, SnapshotInfo, error) {
 	}
 	defer f.Close()
 	return DecodeSnapshot(f)
+}
+
+// latestSnapshotIn opens the newest snapshot in dir that decodes cleanly,
+// returning a reader positioned at byte 0 plus the snapshot's info.
+// Corrupt generations are skipped (the same fallback chain RecoverDir
+// walks); a file pruned between listing and open is skipped too.  The
+// full decode before serving means a follower is never handed bytes that
+// cannot pass its own frame verification.
+func latestSnapshotIn(dir string) (io.ReadCloser, SnapshotInfo, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	for _, p := range snaps {
+		f, err := os.Open(p)
+		if err != nil {
+			continue // pruned since listing
+		}
+		_, info, err := DecodeSnapshot(f)
+		if err != nil {
+			f.Close()
+			if errors.Is(err, ErrSnapshotCorrupt) {
+				continue
+			}
+			return nil, SnapshotInfo{}, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, SnapshotInfo{}, err
+		}
+		return f, info, nil
+	}
+	return nil, SnapshotInfo{}, ErrNoSnapshot
 }
 
 // listSnapshots returns the snapshot files in dir, newest (highest seq)

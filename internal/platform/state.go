@@ -27,6 +27,7 @@ type State struct {
 	nextWorkerID  int
 	nextTaskID    int
 	rounds        int
+	epoch         uint64
 
 	workers map[int]market.Worker // live workers by platform ID
 	tasks   map[int]market.Task   // open tasks by platform ID
@@ -65,6 +66,14 @@ func (s *State) Rounds() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.rounds
+}
+
+// Epoch returns the highest replication epoch this state has applied (0 on
+// a market that has never seen a promotion).
+func (s *State) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
 }
 
 // NextIDs returns the next worker and task IDs the state would assign.  A
@@ -194,10 +203,11 @@ func (s *State) applyLocked(e Event) (Event, func(), error) {
 		workerID int
 		taskID   int
 		rounds   int
-	}{s.nextSeq, s.nextWorkerID, s.nextTaskID, s.rounds}
+		epoch    uint64
+	}{s.nextSeq, s.nextWorkerID, s.nextTaskID, s.rounds, s.epoch}
 	restore := func() {
-		s.nextSeq, s.nextWorkerID, s.nextTaskID, s.rounds =
-			prev.seq, prev.workerID, prev.taskID, prev.rounds
+		s.nextSeq, s.nextWorkerID, s.nextTaskID, s.rounds, s.epoch =
+			prev.seq, prev.workerID, prev.taskID, prev.rounds, prev.epoch
 	}
 	undo := restore
 
@@ -257,6 +267,11 @@ func (s *State) applyLocked(e Event) (Event, func(), error) {
 		undo = func() { s.tasks[t.ID] = t; restore() }
 	case EventRoundClosed:
 		s.rounds++
+	case EventEpochBumped:
+		if *e.Epoch <= s.epoch {
+			return Event{}, nil, fmt.Errorf("platform: epoch %d not above current %d", *e.Epoch, s.epoch)
+		}
+		s.epoch = *e.Epoch
 	}
 
 	s.nextSeq++
