@@ -16,6 +16,7 @@ test:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags chaos ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
@@ -32,10 +33,17 @@ race:
 # byte-identical to the crash-free reference, the old primary revived
 # and epoch-fenced (zero writes applied or journaled), and a follower
 # stalled past segment retention recovering through snapshot resync.
+# The overload storm (build tag `chaos`) adds a seeded open-loop
+# LoadStorm at 4x the admission controller's write capacity: admitted
+# requests must meet their deadline p99, shed requests must get 429 +
+# jittered Retry-After with zero journal writes, the journal must replay
+# byte-identical to the accepted-event log, healthz must recover
+# overloaded->ok once the storm stops, and the failover standby must not
+# promote (overload is not death).
 # Deterministic under CHAOS_SEED (default 1); export a different value
 # to rotate the fault pattern (CI runs seeds 1, 7 and 1337).
 chaos:
-	CHAOS_SEED=$${CHAOS_SEED:-1} $(GO) test -race -count=1 -v -run 'Chaos' ./internal/platform/...
+	CHAOS_SEED=$${CHAOS_SEED:-1} $(GO) test -tags chaos -race -count=1 -v -run 'Chaos' ./internal/platform/...
 
 # Crash-fidelity suite: a ≥100-round deterministic script re-run with a
 # power cut injected at every checkpoint/segment crash point (torn
@@ -61,6 +69,7 @@ benchjson:
 	$(GO) run ./cmd/mbabench -benchjson BENCH_incremental.json -suites incremental
 	$(GO) run ./cmd/mbabench -benchjson BENCH_sharded.json -suites sharded-round
 	$(GO) run ./cmd/mbabench -benchjson BENCH_ingest.json -suites ingest
+	$(GO) run ./cmd/mbabench -benchjson BENCH_overload.json -suites overload
 
 # Re-run the checked-in baselines' suites and fail on any entry that got
 # >25% slower (or meaningfully more allocation-hungry).  Run on an idle
@@ -72,3 +81,4 @@ bench-diff:
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_incremental.json
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_sharded.json
 	$(GO) run ./cmd/mbabench -benchdiff BENCH_ingest.json
+	$(GO) run ./cmd/mbabench -benchdiff BENCH_overload.json

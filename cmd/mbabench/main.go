@@ -21,6 +21,10 @@
 //	                                  # journaled event throughput: JSONL
 //	                                  # single-event vs binary group-commit
 //	                                  # vs 100-event batches, both fsyncs
+//	mbabench -benchjson BENCH_overload.json -suites overload
+//	                                  # admission-controlled serving under
+//	                                  # 1x/2x/4x open-loop overload storms:
+//	                                  # admitted latency + shed fraction
 //	mbabench -benchdiff BENCH_solve.json
 //	                                  # re-run a baseline's suites and fail
 //	                                  # on >25% ns/op (or alloc) regressions
@@ -57,7 +61,7 @@ func run() error {
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		outdir      = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		benchjson   = flag.String("benchjson", "", "run the benchmark-regression harness and write its JSON report to this file")
-		suites      = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round, matching, incremental, sharded-round, ingest)")
+		suites      = flag.String("suites", "construction", "comma-separated benchmark suites for -benchjson (construction, solve, round, matching, incremental, sharded-round, ingest, overload)")
 		roundSolver = flag.String("round-solver", "", "serving solver for the round and sharded-round suites (registry name; empty = per-suite default: greedy / exact)")
 		benchdiff   = flag.String("benchdiff", "", "re-run this baseline report's suites and fail on regressions beyond -benchtol")
 		benchtol    = flag.Float64("benchtol", experiments.DefaultBenchTolerance, "fractional slowdown tolerated by -benchdiff before failing")

@@ -32,6 +32,15 @@
 // reconciliation pass.  The API is unchanged.  -journal (single-file
 // mode) is incompatible with -shards.
 //
+// Admission control is on by default: every route passes a priority-
+// aware admission controller (per-class token buckets keyed by the
+// X-MBA-Client header, an adaptive concurrency limit in front of the
+// journaled write paths, and brownout shedding of single-event writes
+// under sustained overload).  Shed requests get 429 + a jittered
+// Retry-After; healthz reports "overloaded" (still 200) while shedding.
+// Tune with -max-inflight and -rate-high/-rate-medium/-rate-low, or
+// restore the pre-admission semantics with -admission=off.
+//
 // With -follow the process runs as a replication standby instead: it
 // tails the primary's journal stream (GET /v1/journal/stream), persists
 // every event into its own -snapshot-dir, and serves GET /v1/healthz
@@ -157,6 +166,38 @@ func runFollower(primary, dir, addr string, drainTimeout time.Duration, opts pla
 	log.Printf("mbaserve: standby shut down cleanly (phase %s, seq %d, lag %d)", fo.Phase(), f.Seq(), f.Lag())
 }
 
+// serverOptions assembles the HTTP-layer limits from the admission
+// flags.  -admission=off returns the pre-admission options untouched
+// (seed semantics: nothing rate-limited, nothing shed).  A rate flag of
+// 0 keeps the recommended default; a negative value means unlimited.
+func serverOptions(admission bool, maxInflight int, rateHigh, rateMedium, rateLow float64, seed uint64) platform.ServerOptions {
+	opts := platform.NewServerOptions()
+	if !admission {
+		return opts
+	}
+	adm := platform.NewAdmissionOptions()
+	adm.Seed = seed
+	if maxInflight > 0 {
+		adm.MaxInflight = maxInflight
+		if adm.MinInflight > maxInflight {
+			adm.MinInflight = maxInflight
+		}
+	}
+	override := func(dst *float64, v float64) {
+		switch {
+		case v > 0:
+			*dst = v
+		case v < 0:
+			*dst = 0 // 0 in AdmissionOptions = unlimited
+		}
+	}
+	override(&adm.RateHigh, rateHigh)
+	override(&adm.RateMedium, rateMedium)
+	override(&adm.RateLow, rateLow)
+	opts.Admission = adm
+	return opts
+}
+
 // parseFsync maps the -fsync flag to a journal policy.
 func parseFsync(v string) (platform.FsyncPolicy, error) {
 	switch v {
@@ -166,6 +207,16 @@ func parseFsync(v string) (platform.FsyncPolicy, error) {
 		return platform.FsyncAlways, nil
 	}
 	return 0, fmt.Errorf("bad -fsync %q (want never|always)", v)
+}
+
+func parseOnOff(name, v string) (bool, error) {
+	switch v {
+	case "on", "true":
+		return true, nil
+	case "off", "false":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -%s %q (want on|off)", name, v)
 }
 
 func main() {
@@ -191,6 +242,11 @@ func main() {
 		autoTakeover  = flag.Bool("auto-takeover", false, "with -follow: promote to primary automatically once the primary fails -probe-failures consecutive health probes")
 		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "with -follow: primary health-probe cadence")
 		probeFailures = flag.Int("probe-failures", 5, "with -follow: consecutive failed probes before takeover")
+		admissionMode = flag.String("admission", "on", "priority-aware admission control: on or off (off preserves pre-admission semantics)")
+		maxInflight   = flag.Int("max-inflight", 0, "ceiling of the adaptive concurrency limit on journaled writes (0 = recommended default)")
+		rateHigh      = flag.Float64("rate-high", 0, "sustained req/s budget for read traffic (0 = recommended default; negative = unlimited)")
+		rateMedium    = flag.Float64("rate-medium", 0, "sustained req/s budget for single-event writes (0 = recommended default; negative = unlimited)")
+		rateLow       = flag.Float64("rate-low", 0, "sustained req/s budget for batch ingest, round closes and checkpoints (0 = recommended default; negative = unlimited)")
 	)
 	flag.Parse()
 	if *snapshotDir != "" && *journal != "" {
@@ -215,6 +271,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("mbaserve: %v", err)
 	}
+	admission, err := parseOnOff("admission", *admissionMode)
+	if err != nil {
+		log.Fatalf("mbaserve: %v", err)
+	}
 	format, err := platform.ParseJournalFormat(*journalFmt)
 	if err != nil {
 		log.Fatalf("mbaserve: %v", err)
@@ -232,6 +292,7 @@ func main() {
 		GroupCommit:  true,
 	}
 	params := benefit.Params{Lambda: *lambda, Beta: 0.5}
+	srvOpts := serverOptions(admission, *maxInflight, *rateHigh, *rateMedium, *rateLow, *seed)
 
 	if *follow != "" {
 		solver, err := buildSolver(*solverName, *fallbackChain, *roundDeadline)
@@ -252,7 +313,7 @@ func main() {
 			Seed:          *seed,
 			Solver:        solver,
 			Params:        params,
-			Server:        platform.NewServerOptions(),
+			Server:        srvOpts,
 			// A promoted primary keeps the checkpoint/compaction policy a
 			// restarted primary on this directory would have.
 			Checkpoint: &platform.CheckpointOptions{
@@ -428,7 +489,7 @@ func main() {
 	// journal(s) so the last accepted mutation is durable before exit.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           platform.NewServerWithOptions(backend, platform.NewServerOptions()),
+		Handler:           platform.NewServerWithOptions(backend, srvOpts),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,

@@ -28,6 +28,11 @@ package experiments
 //     binary group-commit, and 100-event batches — under both fsync
 //     policies.  Checked in as BENCH_ingest.json; the ≥10× headline is
 //     binary-batch100 vs json-single under fsync-always.
+//   - "overload": the admission-controlled serving path under open-loop
+//     storms at 1×/2×/4× of write capacity — admitted-latency percentiles
+//     and the shed fraction per multiplier.  Checked in as
+//     BENCH_overload.json (tracked, not wall-clock-gated; see
+//     benchoverload.go).
 //
 // "solve" and "round" are checked in together as BENCH_solve.json.  Future
 // PRs compare a fresh run against the checked-in baselines (`mbabench
@@ -59,7 +64,7 @@ const benchExactEdgeBudget = 60000
 
 // BenchSuites lists the suites RunBenchJSON knows, in canonical order.
 func BenchSuites() []string {
-	return []string{"construction", "solve", "round", "matching", "incremental", "sharded-round", "ingest"}
+	return []string{"construction", "solve", "round", "matching", "incremental", "sharded-round", "ingest", "overload"}
 }
 
 // BenchScale is one market size of the regression harness.
@@ -177,6 +182,8 @@ func RunBenchJSON(log io.Writer, cfg BenchConfig) (*BenchReport, error) {
 			err = runShardedRoundSuite(log, cfg, rep)
 		case "ingest":
 			err = runIngestSuite(log, cfg, rep)
+		case "overload":
+			err = runOverloadSuite(log, cfg, rep)
 		default:
 			err = fmt.Errorf("experiments: unknown bench suite %q (have %v)", suite, BenchSuites())
 		}

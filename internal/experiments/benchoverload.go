@@ -1,0 +1,150 @@
+package experiments
+
+// The "overload" suite: the admission-controlled serving path under a
+// seeded open-loop LoadStorm at 1×, 2× and 4× of its sustained write
+// capacity.  Per multiplier it records three entries against a live
+// in-process HTTP server (admission on, single-event writes at
+// RateMedium = overloadCapacity):
+//
+//   - "admitted-p50-us" / "admitted-p99-us": latency percentiles of the
+//     requests the controller admitted, in MICROSECONDS (not ns — see
+//     below) carried in the ns_per_op column.
+//   - "shed-per-1000": the shed fraction ×1000 (0 = nothing shed,
+//     1000 = everything shed) carried in the ns_per_op column.
+//
+// The entries deliberately misuse ns_per_op as a plain metric column and
+// scale themselves below benchDiffFloorNs: latency under deliberate
+// overload on a shared runner is exactly the "scheduler noise exceeds
+// any reasonable tolerance" regime the floor exists for, so the suite is
+// tracked (and gated on silently-disappearing entries) without wall-
+// clock-gating it.  The hard latency/shed guarantees live in the chaos
+// storm (`make chaos`), which asserts them against real deadlines.
+//
+// Checked in as BENCH_overload.json.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/benefit"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/market"
+	"repro/internal/platform"
+)
+
+const (
+	// overloadCapacity is the sustained single-event write budget
+	// (RateMedium) the storms are scaled against, in requests/second.
+	overloadCapacity = 400.0
+	// overloadStormTime is how long each multiplier's storm runs.
+	overloadStormTime = 1200 * time.Millisecond
+	// overloadTimeout is the per-request deadline; the deadline-aware
+	// queue sheds what it cannot serve within it.
+	overloadTimeout = 250 * time.Millisecond
+)
+
+// runOverloadSuite storms an admission-enabled server at rising
+// multiples of its write capacity and records admitted-latency
+// percentiles and the shed fraction per multiplier.
+func runOverloadSuite(log io.Writer, cfg BenchConfig, rep *BenchReport) error {
+	// Worker templates for the POST bodies; IDs are platform-assigned.
+	in, err := market.Generate(market.FreelanceTraceConfig(64, 8), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	state, err := platform.NewState(in.NumCategories)
+	if err != nil {
+		return err
+	}
+	svc, err := platform.NewService(state, core.Greedy{Kind: core.MutualWeight, WS: &core.Workspace{}},
+		benefit.DefaultParams(), nil, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	opts := platform.NewServerOptions()
+	opts.RequestTimeout = overloadTimeout
+	opts.Admission = platform.NewAdmissionOptions()
+	opts.Admission.RateMedium = overloadCapacity
+	opts.Admission.Seed = cfg.Seed
+	ts := httptest.NewServer(platform.NewServerWithOptions(svc, opts))
+	defer ts.Close()
+
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+		Timeout:   4 * overloadTimeout,
+	}
+	bodies := make([][]byte, len(in.Workers))
+	for i, w := range in.Workers {
+		w.ID = 0 // platform-assigned
+		if bodies[i], err = json.Marshal(w); err != nil {
+			return err
+		}
+	}
+	do := func(i int) faultinject.LoadStormOutcome {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/workers",
+			bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return faultinject.LoadError
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return faultinject.LoadError
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			return faultinject.LoadAdmitted
+		case http.StatusTooManyRequests:
+			return faultinject.LoadShed
+		default:
+			return faultinject.LoadError
+		}
+	}
+
+	add := func(sc BenchScale, name string, iters int, value float64) {
+		rep.Results = append(rep.Results, BenchResult{
+			Suite: "overload", Name: name, Scale: sc.Name,
+			Iterations: iters, NsPerOp: value,
+		})
+		fmt.Fprintf(log, "%-13s %-8s %-20s %14.0f\n", "overload", sc.Name, name, value)
+	}
+
+	for _, mult := range []float64{1, 2, 4} {
+		sc := BenchScale{Name: fmt.Sprintf("%gx", mult)}
+		storm := faultinject.RunLoadStorm(context.Background(), faultinject.LoadStormConfig{
+			Rate:        overloadCapacity * mult,
+			Duration:    overloadStormTime,
+			Seed:        cfg.Seed,
+			Jitter:      0.2,
+			MaxInFlight: 1024,
+		}, do)
+		if storm.Errors > 0 {
+			return fmt.Errorf("experiments: overload %s: %d requests failed outside the 201/429 contract",
+				sc.Name, storm.Errors)
+		}
+		if storm.Admitted == 0 {
+			return fmt.Errorf("experiments: overload %s: storm admitted nothing", sc.Name)
+		}
+		add(sc, "admitted-p50-us", storm.Issued, float64(storm.Percentile(50).Microseconds()))
+		add(sc, "admitted-p99-us", storm.Issued, float64(storm.Percentile(99).Microseconds()))
+		shed := 0.0
+		if storm.Issued > 0 {
+			shed = float64(storm.Shed) / float64(storm.Issued)
+		}
+		add(sc, "shed-per-1000", storm.Issued, shed*1000)
+		// Let the brownout shed signal decay and the AIMD limiter recover
+		// before the next multiplier, so each storm starts from a healthy
+		// controller rather than inheriting the previous storm's backoff.
+		time.Sleep(2 * opts.Admission.BrownoutHalflife)
+	}
+	return nil
+}

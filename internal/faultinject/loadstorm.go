@@ -1,0 +1,163 @@
+package faultinject
+
+// LoadStorm: a seeded open-loop request generator for overload chaos.
+// Open-loop means arrivals follow the configured rate regardless of how
+// fast requests complete — exactly the regime that exposes overload
+// bugs.  A closed-loop generator (issue, wait, issue) self-throttles the
+// moment the server slows down, which is precisely when an admission
+// controller must be tested hardest.
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LoadStormOutcome classifies one request as the storm's do callback
+// observed it.
+type LoadStormOutcome int
+
+const (
+	// LoadAdmitted: the server accepted and served the request.
+	LoadAdmitted LoadStormOutcome = iota
+	// LoadShed: the server rejected it with backpressure (429).
+	LoadShed
+	// LoadError: transport failure or an unexpected status.
+	LoadError
+)
+
+// LoadStormConfig shapes the storm.
+type LoadStormConfig struct {
+	// Rate is the arrival rate in requests/second.  Required > 0.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Seed drives the inter-arrival jitter; the arrival schedule is a
+	// pure function of (Seed, Rate, Jitter), so a storm that finds a bug
+	// can be re-run.
+	Seed uint64
+	// Jitter in [0,1) perturbs each inter-arrival gap uniformly within
+	// ±Jitter of the nominal gap.  0 means a metronome.
+	Jitter float64
+	// MaxInFlight is a safety valve on concurrent requests (goroutines);
+	// arrivals past it are counted as Skipped, not issued.  0 means
+	// 4096.
+	MaxInFlight int
+}
+
+// LoadStormReport aggregates the storm's outcomes.
+type LoadStormReport struct {
+	Issued   int // requests actually started
+	Skipped  int // arrivals dropped by the MaxInFlight safety valve
+	Admitted int
+	Shed     int
+	Errors   int
+	// AdmittedLatencies holds one latency sample per admitted request,
+	// in completion order.
+	AdmittedLatencies []time.Duration
+}
+
+// Percentile returns the p-th (0..100) percentile of admitted-request
+// latency, 0 when nothing was admitted.
+func (r *LoadStormReport) Percentile(p float64) time.Duration {
+	if len(r.AdmittedLatencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.AdmittedLatencies))
+	copy(sorted, r.AdmittedLatencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// RunLoadStorm generates arrivals at cfg.Rate for cfg.Duration and calls
+// do(i) on its own goroutine for each one (i is the 0-based arrival
+// index).  It blocks until every issued request has returned, then
+// reports.  Cancelling ctx stops new arrivals; in-flight requests still
+// drain.
+func RunLoadStorm(ctx context.Context, cfg LoadStormConfig, do func(i int) LoadStormOutcome) *LoadStormReport {
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return &LoadStormReport{}
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4096
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x10adc0de)
+	gap := float64(time.Second) / cfg.Rate
+
+	rep := &LoadStormReport{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var inflight int
+
+	start := time.Now()
+	// Arrival times are precomputed offsets from start (pure function of
+	// the seed), so completion timing never perturbs the schedule: that
+	// is what makes the storm open-loop AND reproducible.
+	next := 0.0
+	for i := 0; ; i++ {
+		j := 1.0
+		if cfg.Jitter > 0 {
+			j = 1 + cfg.Jitter*(2*rng.Float64()-1)
+		}
+		if i > 0 {
+			next += gap * j
+		}
+		at := time.Duration(next)
+		if at >= cfg.Duration {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if d := start.Add(at).Sub(time.Now()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		mu.Lock()
+		if inflight >= maxInFlight {
+			rep.Skipped++
+			mu.Unlock()
+			continue
+		}
+		inflight++
+		rep.Issued++
+		mu.Unlock()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			out := do(i)
+			lat := time.Since(t0)
+			mu.Lock()
+			inflight--
+			switch out {
+			case LoadAdmitted:
+				rep.Admitted++
+				rep.AdmittedLatencies = append(rep.AdmittedLatencies, lat)
+			case LoadShed:
+				rep.Shed++
+			default:
+				rep.Errors++
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return rep
+}

@@ -1,0 +1,80 @@
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLoadStormOpenLoopCounts(t *testing.T) {
+	var calls atomic.Int64
+	rep := RunLoadStorm(context.Background(), LoadStormConfig{
+		Rate:     500,
+		Duration: 200 * time.Millisecond,
+		Seed:     7,
+		Jitter:   0.5,
+	}, func(i int) LoadStormOutcome {
+		calls.Add(1)
+		if i%3 == 0 {
+			return LoadShed
+		}
+		if i%7 == 0 {
+			return LoadError
+		}
+		return LoadAdmitted
+	})
+	if rep.Issued == 0 {
+		t.Fatal("storm issued nothing")
+	}
+	if int(calls.Load()) != rep.Issued {
+		t.Fatalf("callback ran %d times for %d issued", calls.Load(), rep.Issued)
+	}
+	if rep.Admitted+rep.Shed+rep.Errors != rep.Issued {
+		t.Fatalf("outcomes %d+%d+%d don't add up to issued %d",
+			rep.Admitted, rep.Shed, rep.Errors, rep.Issued)
+	}
+	if len(rep.AdmittedLatencies) != rep.Admitted {
+		t.Fatalf("%d latency samples for %d admitted", len(rep.AdmittedLatencies), rep.Admitted)
+	}
+	if p := rep.Percentile(99); rep.Admitted > 0 && p <= 0 {
+		t.Fatalf("p99 = %v with admitted requests", p)
+	}
+	// Open loop at 500/s for 200ms ≈ 100 arrivals; allow generous slack
+	// for CI scheduling, but it must be in the right regime.
+	if rep.Issued < 50 || rep.Issued > 150 {
+		t.Fatalf("issued %d arrivals, want ≈100", rep.Issued)
+	}
+}
+
+func TestLoadStormMaxInFlightSkips(t *testing.T) {
+	// Callbacks park until the storm's arrival window has passed, so the
+	// valve is saturated for every later arrival.
+	block := make(chan struct{})
+	time.AfterFunc(300*time.Millisecond, func() { close(block) })
+	rep := RunLoadStorm(context.Background(), LoadStormConfig{
+		Rate:        1000,
+		Duration:    100 * time.Millisecond,
+		Seed:        1,
+		MaxInFlight: 2,
+	}, func(int) LoadStormOutcome {
+		<-block
+		return LoadAdmitted
+	})
+	if rep.Issued > 2 {
+		t.Fatalf("issued %d with MaxInFlight 2", rep.Issued)
+	}
+	if rep.Skipped == 0 {
+		t.Fatal("safety valve never skipped despite saturated inflight")
+	}
+}
+
+func TestLoadStormCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := RunLoadStorm(ctx, LoadStormConfig{Rate: 100, Duration: time.Second, Seed: 1},
+		func(int) LoadStormOutcome { return LoadAdmitted })
+	if rep.Issued > 1 {
+		t.Fatalf("cancelled storm issued %d requests", rep.Issued)
+	}
+}

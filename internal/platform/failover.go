@@ -337,7 +337,11 @@ func (fo *Failover) watchPrimary(ctx context.Context) (takeover bool, err error)
 	}
 }
 
-// probeOnce reports whether one health probe was bad.
+// probeOnce reports whether one health probe was bad.  An overloaded
+// primary is NOT bad: healthz is admission-exempt so the probe itself is
+// never shed, a 429 on any route proves a live admission controller
+// answered it, and the "overloaded" status is the server coping with
+// load — promoting a standby into the same storm would only double it.
 func (fo *Failover) probeOnce(ctx context.Context) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fo.primary+"/v1/healthz", nil)
 	if err != nil {
@@ -348,6 +352,9 @@ func (fo *Failover) probeOnce(ctx context.Context) bool {
 		return true
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return false // shed by admission: the primary is alive, just busy
+	}
 	if resp.StatusCode != http.StatusOK {
 		return true
 	}
@@ -355,7 +362,7 @@ func (fo *Failover) probeOnce(ctx context.Context) bool {
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		return true
 	}
-	return h.Status != "ok"
+	return h.Status != "ok" && h.Status != StatusOverloaded
 }
 
 // sleepCtx sleeps d or until ctx is done; false means cancelled.

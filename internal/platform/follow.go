@@ -63,6 +63,11 @@ type FollowerOptions struct {
 	// DegradedLag degrades Health once ReplicationLag reaches this many
 	// events; 0 disables the check (transient lag is normal).
 	DegradedLag uint64
+	// ResyncBudget caps the wall-clock time of one snapshot resync attempt
+	// in Run.  Without it a primary that accepts the connection but stalls
+	// the snapshot body pins the follower forever (the HTTP client has no
+	// default timeout).  0 means 30s; negative disables the cap.
+	ResyncBudget time.Duration
 }
 
 // ErrResyncNeeded reports that the follower's replication position was
@@ -95,6 +100,9 @@ type Follower struct {
 	lastContact atomic.Int64
 	// resyncs counts completed snapshot bootstraps.
 	resyncs atomic.Uint64
+	// consecRetries mirrors Run's consecutive-failure counter for Health:
+	// 0 while replication flows, growing while the primary flaps.
+	consecRetries atomic.Int64
 }
 
 // NewFollower recovers (or creates) the follower's local journal
@@ -156,6 +164,10 @@ func (f *Follower) PrimaryEpoch() uint64 { return f.primaryEpoch.Load() }
 // Resyncs counts the snapshot bootstraps this follower has performed.
 func (f *Follower) Resyncs() uint64 { return f.resyncs.Load() }
 
+// ConsecutiveRetries is how many poll/resync attempts in a row have
+// failed (0 while replication is healthy).
+func (f *Follower) ConsecutiveRetries() int64 { return f.consecRetries.Load() }
+
 // Lag is how many events behind the primary the follower was at the
 // latest poll.
 func (f *Follower) Lag() uint64 {
@@ -185,16 +197,17 @@ func (f *Follower) Health() HealthStatus {
 	workers, tasks := st.Counts()
 	contactAge := f.ContactAge()
 	h := HealthStatus{
-		Role:            "follower",
-		LastSeq:         st.Seq(),
-		JournalPoisoned: seg.Poisoned(),
-		Workers:         workers,
-		Tasks:           tasks,
-		Rounds:          st.Rounds(),
-		PrimarySeq:      f.PrimarySeq(),
-		ReplicationLag:  f.Lag(),
-		Epoch:           st.Epoch(),
-		ContactAgeMS:    contactAge.Milliseconds(),
+		Role:               "follower",
+		LastSeq:            st.Seq(),
+		JournalPoisoned:    seg.Poisoned(),
+		Workers:            workers,
+		Tasks:              tasks,
+		Rounds:             st.Rounds(),
+		PrimarySeq:         f.PrimarySeq(),
+		ReplicationLag:     f.Lag(),
+		Epoch:              st.Epoch(),
+		ContactAgeMS:       contactAge.Milliseconds(),
+		ConsecutiveRetries: f.ConsecutiveRetries(),
 	}
 	h.Status = "ok"
 	maxAge := f.opts.DegradedContactAge
@@ -406,6 +419,10 @@ func (f *Follower) Run(ctx context.Context) error {
 	if seed == 0 {
 		seed = 1
 	}
+	budget := f.opts.ResyncBudget
+	if budget == 0 {
+		budget = 30 * time.Second
+	}
 	rng := stats.NewRNG(seed)
 	fails := 0
 	for {
@@ -414,8 +431,18 @@ func (f *Follower) Run(ctx context.Context) error {
 			return ctx.Err()
 		}
 		if errors.Is(err, ErrResyncNeeded) {
-			if _, rerr := f.Resync(ctx); rerr == nil {
+			// Budget the whole resync attempt: the default HTTP client has
+			// no timeout, and a primary that stalls the snapshot body mid-
+			// transfer must cost one bounded attempt, not pin Run forever.
+			rctx, cancel := ctx, context.CancelFunc(func() {})
+			if budget > 0 {
+				rctx, cancel = context.WithTimeout(ctx, budget)
+			}
+			_, rerr := f.Resync(rctx)
+			cancel()
+			if rerr == nil {
 				fails = 0
+				f.consecRetries.Store(0)
 				continue // re-tail immediately from the snapshot position
 			} else if ctx.Err() != nil {
 				return ctx.Err()
@@ -426,12 +453,15 @@ func (f *Follower) Run(ctx context.Context) error {
 		switch {
 		case err != nil:
 			fails++
+			f.consecRetries.Store(int64(fails))
 			delay = backoffDelay(poll, maxB, fails, rng)
 		case n == 0:
 			fails = 0
+			f.consecRetries.Store(0)
 			delay = poll
 		default:
 			fails = 0
+			f.consecRetries.Store(0)
 			continue // traffic is flowing; pull again immediately
 		}
 		select {

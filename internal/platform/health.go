@@ -10,6 +10,8 @@ type ShardHealth struct {
 	Shard           int    `json:"shard"`
 	LastSeq         uint64 `json:"last_seq"`
 	JournalPoisoned bool   `json:"journal_poisoned"`
+	Workers         int    `json:"workers"`
+	Tasks           int    `json:"tasks"`
 }
 
 // HealthStatus is the /v1/healthz payload.
@@ -46,6 +48,13 @@ type HealthStatus struct {
 	// ContactAgeMS is follower-only: milliseconds since the last successful
 	// primary contact.
 	ContactAgeMS int64 `json:"contact_age_ms,omitempty"`
+	// ConsecutiveRetries is follower-only: how many poll/resync attempts
+	// in a row have failed.  0 while replication is healthy; a growing
+	// value means the primary is unreachable or flapping.
+	ConsecutiveRetries int64 `json:"consecutive_retries,omitempty"`
+	// Admission carries the admission controller's shed/brownout counters
+	// when admission is enabled on the serving front end.
+	Admission *AdmissionHealth `json:"admission,omitempty"`
 }
 
 // journalPoisoned asks a journal whether it can still append; journals
@@ -90,6 +99,7 @@ func (ss *ShardedService) Health() HealthStatus {
 			LastSeq:         rt.state.Seq(),
 			JournalPoisoned: journalPoisoned(rt.journal),
 		}
+		sh.Workers, sh.Tasks = rt.state.Counts()
 		if sh.LastSeq > h.LastSeq {
 			h.LastSeq = sh.LastSeq
 		}

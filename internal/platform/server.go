@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -42,6 +43,7 @@ type Server struct {
 	svc     Backend
 	mux     *http.ServeMux
 	opts    ServerOptions
+	adm     *Admission  // nil = admission off (seed semantics)
 	closing atomic.Bool // single-flight guard on POST /v1/rounds
 }
 
@@ -80,6 +82,9 @@ type ServerOptions struct {
 	// MaxBatchBytes caps POST /v1/batch bodies separately from
 	// MaxBodyBytes — a batch is by design many events; 0 means unlimited.
 	MaxBatchBytes int64
+	// Admission configures the priority-aware admission controller
+	// (admission.go).  The zero value disables it.
+	Admission AdmissionOptions
 }
 
 // NewServerOptions returns the recommended limits: 1 MiB bodies (a worker
@@ -102,7 +107,7 @@ func NewServer(svc Backend) *Server {
 
 // NewServerWithOptions wires the HTTP handlers with explicit limits.
 func NewServerWithOptions(svc Backend, opts ServerOptions) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux(), opts: opts}
+	s := &Server{svc: svc, mux: http.NewServeMux(), opts: opts, adm: NewAdmission(opts.Admission)}
 	s.mux.HandleFunc("POST /v1/workers", s.handleAddWorker)
 	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleRemoveWorker)
 	s.mux.HandleFunc("POST /v1/tasks", s.handleAddTask)
@@ -142,12 +147,20 @@ type Fenceable interface {
 	FenceStatus() (fenced bool, observed uint64)
 }
 
+// timeoutExempt reports whether a route escapes the per-request
+// ingestion deadline: round closes manage their own (longer) budget in
+// handleCloseRound, and snapshot transfers are unbounded (a resyncing
+// follower may pull a large file).
+func timeoutExempt(method, path string) bool {
+	return (method == http.MethodPost && path == "/v1/rounds") ||
+		(method == http.MethodGet && path == "/v1/snapshot")
+}
+
 // ServeHTTP implements http.Handler.  Ingestion requests get the
-// per-request deadline here; round closes manage their own (longer)
-// budget in handleCloseRound, and snapshot transfers are unbounded (a
-// resyncing follower may pull a large file).  Epoch-aware backends get
-// the fencing exchange on every request: observe the caller's epoch,
-// advertise our own.
+// per-request deadline here (see timeoutExempt for the exceptions), then
+// pass through admission control when it is enabled.  Epoch-aware
+// backends get the fencing exchange on every request: observe the
+// caller's epoch, advertise our own.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if fc, ok := s.svc.(Fenceable); ok {
 		if h := r.Header.Get(EpochHeader); h != "" {
@@ -157,24 +170,54 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set(EpochHeader, strconv.FormatUint(fc.Epoch(), 10))
 	}
-	exempt := (r.Method == http.MethodPost && r.URL.Path == "/v1/rounds") ||
-		(r.Method == http.MethodGet && r.URL.Path == "/v1/snapshot")
-	if s.opts.RequestTimeout > 0 && !exempt {
+	if s.opts.RequestTimeout > 0 && !timeoutExempt(r.Method, r.URL.Path) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
+	}
+	if s.adm != nil {
+		ctx := r.Context()
+		deadline, _ := ctx.Deadline()
+		dec := s.adm.Admit(r.Method, r.URL.Path, r.Header.Get(ClientHeader), deadline, ctx.Done())
+		if !dec.OK {
+			secs := int(math.Ceil(dec.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, ErrAdmissionShed)
+			return
+		}
+		start := time.Now()
+		defer func() { dec.Release(time.Since(start)) }()
 	}
 	s.mux.ServeHTTP(w, r)
 }
 
 // decodeBody decodes a size-capped JSON body into v.  The caller maps the
-// error; oversized bodies surface as *http.MaxBytesError.
+// error; oversized bodies surface as *http.MaxBytesError.  The body must
+// be exactly one JSON value: trailing bytes after it are a 400, not
+// silently discarded — `{"kind":"add_worker"}junk` is a malformed
+// request, and a proxy or client bug that concatenates bodies must not
+// have its first event applied.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	body := r.Body
 	if s.opts.MaxBodyBytes > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	}
-	return json.NewDecoder(body).Decode(v)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return requireEOF(dec)
+}
+
+// requireEOF verifies a decoder has consumed its entire input.
+func requireEOF(dec *json.Decoder) error {
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
 }
 
 // writeDecodeError distinguishes an oversized body (413) from a malformed
@@ -294,7 +337,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		body = http.MaxBytesReader(w, r.Body, s.opts.MaxBatchBytes)
 	}
 	var events []Event
-	if err := json.NewDecoder(body).Decode(&events); err != nil {
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&events); err != nil {
+		writeDecodeError(w, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	if err := requireEOF(dec); err != nil {
 		writeDecodeError(w, fmt.Errorf("decoding batch: %w", err))
 		return
 	}
@@ -331,6 +379,9 @@ type HealthReporter interface {
 // healthy, 503 once it degrades — a poisoned journal, a fenced primary,
 // or a follower out of contact — so a standby's probe loop (or a load
 // balancer) needs no JSON parsing to know this process is in trouble.
+// An admission brownout reports "overloaded" but stays 200: shedding
+// load is the server doing its job, and a probe that flipped overload
+// into failover would reward the storm with a promotion.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	var h HealthStatus
 	if hr, ok := s.svc.(HealthReporter); ok {
@@ -340,8 +391,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		h.Workers, h.Tasks = s.svc.Counts()
 		h.Rounds = s.svc.Rounds()
 	}
+	if s.adm != nil {
+		h.Admission = s.adm.HealthSnapshot()
+		if h.Status == "ok" && s.adm.Overloaded() {
+			h.Status = StatusOverloaded
+		}
+	}
 	status := http.StatusOK
-	if h.Status != "ok" {
+	if h.Status != "ok" && h.Status != StatusOverloaded {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)
